@@ -1,0 +1,75 @@
+// Ablation: task grain of the remainder-sequence stage (Section 3.1) and
+// its interaction with dispatch overhead -- the paper's observation that
+// grain must be "small enough to keep all processors busy ... yet not so
+// small as to make the overheads large".
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prbench;
+  const bool full = has_flag(argc, argv, "--full");
+  print_header("Ablation: remainder-stage task grain",
+               "Section 3.1 (footnote 4) and Section 5.2 granularity "
+               "discussion");
+
+  const int n = full ? 70 : 40;
+  const std::size_t mu = digits_to_bits(16);
+  const auto input = input_for(n, 0);
+  pr::RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+
+  struct GrainCase {
+    const char* name;
+    pr::RemainderGrain grain;
+  };
+  const GrainCase grains[] = {
+      {"per-iteration", pr::RemainderGrain::kPerIteration},
+      {"per-coefficient", pr::RemainderGrain::kPerCoefficient},
+      {"per-operation", pr::RemainderGrain::kPerOperation},
+  };
+
+  // A fixed absolute dispatch cost per task, identical for every grain,
+  // so finer grains pay it more often -- the paper's trade-off.  Scaled
+  // to the total work so the numbers are machine-independent.
+  pr::ParallelConfig probe;
+  const auto probe_run = pr::find_real_roots_parallel(input.poly, cfg, probe);
+  const std::uint64_t work = probe_run.trace.total_cost();
+  const std::uint64_t overheads[] = {0, work / 20000, work / 2000};
+
+  pr::TextTable table({-16, 9, 12, 8, 8, 8, 8});
+  std::cout << "n = " << n << ", mu = 16 digits.  E(P) = T_ref / "
+               "makespan(P): efficiency against the\nzero-overhead "
+               "1-processor reference, so dispatch overhead shows up as "
+               "E(1) < 1.\n\n"
+            << table.row({"grain", "tasks", "overhead", "E(1)", "E(4)",
+                          "E(16)", "E(inf)"})
+            << "\n"
+            << table.rule() << "\n";
+
+  for (const auto& gc : grains) {
+    pr::ParallelConfig pc;
+    pc.grain = gc.grain;
+    const auto run = pr::find_real_roots_parallel(input.poly, cfg, pc);
+    const double t_ref = static_cast<double>(run.trace.total_cost());
+    for (const std::uint64_t overhead : overheads) {
+      std::vector<std::string> row{gc.name, std::to_string(run.trace.size()),
+                                   pr::with_commas(overhead)};
+      for (int p : {1, 4, 16}) {
+        pr::SimConfig sc;
+        sc.processors = p;
+        sc.dispatch_overhead = overhead;
+        const auto r = pr::simulate_schedule(run.trace, sc);
+        row.push_back(pr::fixed(t_ref / static_cast<double>(r.makespan), 2));
+      }
+      row.push_back(pr::fixed(
+          t_ref / static_cast<double>(run.trace.critical_path(overhead)),
+          2));
+      std::cout << table.row(row) << "\n";
+    }
+    std::cout << table.rule() << "\n";
+  }
+  std::cout << "\nexpected: finer grain wins at zero overhead (higher "
+               "E(16), E(inf)),\nbut pays more dispatch cost per unit of "
+               "work as overhead grows --\nthe paper's granularity "
+               "trade-off (Sections 3.1/5.2).\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: the hybrid interval solver (sieve + bisection + Newton,
+// Eq. 41) vs bisection+Newton without the sieve vs pure bisection
+// (the Eq. 38 worst-case regime).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prbench;
+  const bool full = has_flag(argc, argv, "--full");
+  print_header("Ablation: interval-solver composition",
+               "Section 2.2 hybrid design; Eq. 38 vs Eq. 41");
+
+  const std::vector<int> degrees =
+      full ? std::vector<int>{10, 20, 30, 40, 50} : std::vector<int>{10, 30};
+  const std::vector<int> digits = {4, 32};
+
+  pr::TextTable table({4, 6, -15, 12, 12, 12, 12, 16});
+  std::cout << table.row({"n", "mu", "mode", "sieve.ev", "bisect.ev",
+                          "newton.it", "total.ev", "intv.bitcost"})
+            << "\n"
+            << table.rule() << "\n";
+  for (int n : degrees) {
+    for (int dg : digits) {
+      const auto input = input_for(n, 0);
+      const auto runs =
+          pr::compare_solver_modes(input.poly, digits_to_bits(dg));
+      for (const auto& run : runs) {
+        std::cout << table.row(
+                         {std::to_string(n), std::to_string(dg),
+                          pr::solver_mode_name(run.mode),
+                          pr::with_commas(run.stats.sieve_evals),
+                          pr::with_commas(run.stats.bisect_evals),
+                          pr::with_commas(run.stats.newton_iters),
+                          pr::with_commas(run.stats.total_evals()),
+                          pr::with_commas(run.interval_bitcost)})
+                  << "\n";
+      }
+      std::cout << table.rule() << "\n";
+    }
+  }
+  std::cout << "\nexpected: hybrid <= bisect+newton << pure-bisection in "
+               "evaluations at high mu;\nthe sieve contributes little on "
+               "uniform random roots (the paper's average case) but "
+               "bounds the worst case.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figures 2-5: predicted vs observed multiplication counts for all phases
+// at mu = 8, 16, 24, 32 digits.
+//
+// Like the paper, the predictions for the deterministic phases (remainder
+// sequence, tree polynomials) are exact counts derived from the
+// implementation structure, and the interval phase uses the average-case
+// model I_avg (Eq. 41).  The paper's observation -- "the predicted counts
+// match the observed counts quite well, especially for larger input
+// parameters" -- is quantified by the printed ratio.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prbench;
+  const bool full = has_flag(argc, argv, "--full");
+  print_header("Figures 2-5: predicted vs observed multiplication counts",
+               "Narendran-Tiwari Figures 2, 3, 4, 5");
+
+  const auto degrees = degree_grid(full);
+  const std::vector<int> digits = full ? std::vector<int>{8, 16, 24, 32}
+                                       : std::vector<int>{8, 32};
+
+  for (int dg : digits) {
+    std::cout << "\n--- mu = " << dg << " digits (Figure "
+              << (dg == 8 ? 2 : dg == 16 ? 3 : dg == 24 ? 4 : 5)
+              << ") ---\n";
+    pr::TextTable table({4, 14, 14, 8});
+    std::cout << table.row({"n", "predicted", "observed", "ratio"}) << "\n"
+              << table.rule() << "\n";
+    for (int n : degrees) {
+      const auto input = input_for(n, 0);
+      pr::RootFinderConfig cfg;
+      cfg.mu_bits = digits_to_bits(dg);
+      pr::instr::reset_all();
+      (void)pr::find_real_roots(input.poly, cfg);
+      const auto agg = pr::instr::aggregate();
+      std::uint64_t observed = 0;
+      for (auto phase :
+           {pr::instr::Phase::kRemainder, pr::instr::Phase::kTreePoly,
+            pr::instr::Phase::kSieve, pr::instr::Phase::kBisect,
+            pr::instr::Phase::kNewton, pr::instr::Phase::kPreInterval}) {
+        observed += agg[phase].mul_count;
+      }
+      pr::model::Params mp;
+      mp.n = n;
+      mp.m = input.m_bits;
+      mp.mu = cfg.mu_bits;
+      mp.r = pr::root_bound_pow2(input.poly);
+      const std::uint64_t predicted = pr::model::remainder_mults(n) +
+                                      pr::model::tree_mults(n) +
+                                      pr::model::interval_mults(mp);
+      std::cout << table.row({std::to_string(n), pr::with_commas(predicted),
+                              pr::with_commas(observed),
+                              pr::fixed(static_cast<double>(predicted) /
+                                            static_cast<double>(observed),
+                                        3)})
+                << "\n";
+    }
+  }
+  std::cout << "\nshape check (paper Figures 2-5): predicted ~= observed, "
+               "with the fit improving for larger n.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Figure 8: comparison with a classical sequential root finder
+// (the paper compared against PARI's 1991 `roots`; our stand-in is the
+// Sturm-isolation baseline -- see DESIGN.md "Substitutions").
+//
+// Paper findings to reproduce:
+//   * for degrees >= ~15 the tree algorithm wins, and the gap widens;
+//   * the baseline's cost is nearly insensitive to mu, while the tree
+//     algorithm gets cheaper at lower precision.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prbench;
+  const bool full = has_flag(argc, argv, "--full");
+  print_header("Figure 8: tree algorithm vs sequential (Sturm) baseline",
+               "Narendran-Tiwari Figure 8 (mu = 30 digits, n <= 30)");
+
+  const std::vector<int> degrees = full
+                                       ? std::vector<int>{5, 10, 15, 20, 25,
+                                                          30}
+                                       : std::vector<int>{5, 10, 20, 30};
+  const std::size_t mu30 = digits_to_bits(30);
+  const std::size_t mu4 = digits_to_bits(4);
+
+  pr::TextTable table({4, 11, 11, 13, 9, 14, 14});
+  std::cout << table.row({"n", "tree.ms", "sturm.ms", "descartes.ms", "win",
+                          "tree.bits", "sturm.bits"})
+            << "   (mu = 30 digits)\n"
+            << table.rule() << "\n";
+
+  double tree30 = 0, tree4 = 0, sturm30 = 0, sturm4 = 0;
+  for (int n : degrees) {
+    double tree_ms = 0, sturm_ms = 0, desc_ms = 0;
+    std::uint64_t tree_bits = 0, sturm_bits = 0;
+    for (int t = 0; t < trials(full); ++t) {
+      const auto in = input_for(n, t);
+      pr::RootFinderConfig cfg;
+      cfg.mu_bits = mu30;
+      auto before = pr::instr::aggregate().total().bit_cost();
+      pr::Stopwatch sw;
+      const auto rep = pr::find_real_roots(in.poly, cfg);
+      tree_ms += sw.millis();
+      tree_bits += pr::instr::aggregate().total().bit_cost() - before;
+
+      pr::IntervalSolverConfig scfg;
+      before = pr::instr::aggregate().total().bit_cost();
+      sw.restart();
+      const auto base = pr::sturm_find_roots(in.poly, mu30, scfg, nullptr);
+      sturm_ms += sw.millis();
+      sturm_bits += pr::instr::aggregate().total().bit_cost() - before;
+
+      sw.restart();
+      const auto desc =
+          pr::descartes_find_roots(in.poly, mu30, scfg, nullptr);
+      desc_ms += sw.millis();
+      if (base != rep.roots || desc != rep.roots) {
+        std::cerr << "MISMATCH n=" << n << "\n";
+        return 1;
+      }
+    }
+    const char* winner = tree_ms < sturm_ms && tree_ms < desc_ms ? "tree"
+                         : sturm_ms < desc_ms                    ? "sturm"
+                                                                 : "descartes";
+    std::cout << table.row(
+                     {std::to_string(n), pr::fixed(tree_ms, 2),
+                      pr::fixed(sturm_ms, 2), pr::fixed(desc_ms, 2), winner,
+                      pr::with_commas(tree_bits),
+                      pr::with_commas(sturm_bits)})
+              << "\n";
+    if (n == degrees.back()) {
+      // Single-trial comparison at both precisions (same input) for the
+      // mu-sensitivity ratios.
+      const auto in = input_for(n, 0);
+      const auto one_run = [&](std::size_t mu, bool tree) {
+        const auto before = pr::instr::aggregate().total().bit_cost();
+        if (tree) {
+          pr::RootFinderConfig cfg;
+          cfg.mu_bits = mu;
+          (void)pr::find_real_roots(in.poly, cfg);
+        } else {
+          pr::IntervalSolverConfig scfg;
+          (void)pr::sturm_find_roots(in.poly, mu, scfg, nullptr);
+        }
+        return static_cast<double>(
+            pr::instr::aggregate().total().bit_cost() - before);
+      };
+      tree30 = one_run(mu30, true);
+      tree4 = one_run(mu4, true);
+      const auto iso_before30 =
+          pr::instr::aggregate()[pr::instr::Phase::kBaseline].bit_cost();
+      sturm30 = one_run(mu30, false);
+      const auto iso30 =
+          pr::instr::aggregate()[pr::instr::Phase::kBaseline].bit_cost() -
+          iso_before30;
+      const auto iso_before4 =
+          pr::instr::aggregate()[pr::instr::Phase::kBaseline].bit_cost();
+      sturm4 = one_run(mu4, false);
+      const auto iso4 =
+          pr::instr::aggregate()[pr::instr::Phase::kBaseline].bit_cost() -
+          iso_before4;
+      std::cout << "\nbaseline isolation stage (Sturm counting) bit cost: "
+                << pr::with_commas(iso30) << " at mu=30 digits vs "
+                << pr::with_commas(iso4) << " at mu=4 digits ("
+                << pr::fixed(static_cast<double>(iso30) /
+                                 static_cast<double>(iso4),
+                             2)
+                << "x: mu-independent, like PARI's behaviour in the "
+                   "paper)\n";
+    }
+  }
+
+  std::cout << "\nmu-sensitivity at n = " << degrees.back()
+            << " (total bit cost, mu = 30 digits vs 4 digits):\n"
+            << "  tree algorithm : " << pr::fixed(tree30 / tree4, 2)
+            << "x  (paper: cost decreased significantly at lower mu)\n"
+            << "  sturm baseline : " << pr::fixed(sturm30 / sturm4, 2)
+            << "x\n"
+            << "note: the paper's PARI was mu-INSENSITIVE overall because "
+               "it always computed at\nfull working precision.  Our "
+               "baseline shares this library's hybrid refiner, so\nits "
+               "refinement stage scales with mu too; the mu-independent "
+               "part is the isolation\nstage above -- the structural "
+               "property behind the paper's observation.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark micro-benchmarks for the arithmetic substrate: the
+// costs the Section 4 model builds on (quadratic multiplication, linear
+// addition, scaled Horner evaluation, remainder-sequence iterations).
+#include <benchmark/benchmark.h>
+
+#include "polyroots.hpp"
+
+namespace {
+
+pr::BigInt random_bigint(pr::Prng& rng, int bits) {
+  pr::BigInt v;
+  for (int i = 0; i < bits; i += 64) {
+    v <<= 64;
+    v += pr::BigInt(static_cast<unsigned long long>(rng.next()));
+  }
+  return v >> static_cast<std::size_t>((64 - bits % 64) % 64);
+}
+
+void BM_BigIntMul(benchmark::State& state) {
+  pr::Prng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  const pr::BigInt a = random_bigint(rng, bits);
+  const pr::BigInt b = random_bigint(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BigIntMul)->RangeMultiplier(4)->Range(256, 65536)->Complexity();
+
+void BM_BigIntMulKaratsuba(benchmark::State& state) {
+  pr::Prng rng(1);
+  const int bits = static_cast<int>(state.range(0));
+  const pr::BigInt a = random_bigint(rng, bits);
+  const pr::BigInt b = random_bigint(rng, bits);
+  pr::BigInt::set_karatsuba_enabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  pr::BigInt::set_karatsuba_enabled(false);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BigIntMulKaratsuba)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity();
+
+void BM_BigIntAdd(benchmark::State& state) {
+  pr::Prng rng(2);
+  const pr::BigInt a = random_bigint(rng, static_cast<int>(state.range(0)));
+  const pr::BigInt b = random_bigint(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a + b);
+  }
+}
+BENCHMARK(BM_BigIntAdd)->Range(256, 65536);
+
+void BM_BigIntDivmod(benchmark::State& state) {
+  pr::Prng rng(3);
+  const pr::BigInt a = random_bigint(rng, static_cast<int>(state.range(0)));
+  const pr::BigInt b =
+      random_bigint(rng, static_cast<int>(state.range(0)) / 2);
+  pr::BigInt q, r;
+  for (auto _ : state) {
+    pr::BigInt::divmod(a, b, q, r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigIntDivmod)->Range(512, 32768);
+
+void BM_ScaledHorner(benchmark::State& state) {
+  pr::Prng rng(4);
+  const auto input = pr::paper_input(static_cast<std::size_t>(state.range(0)),
+                                     rng);
+  const pr::BigInt x = random_bigint(rng, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(input.poly.eval_scaled(x, 107));
+  }
+}
+BENCHMARK(BM_ScaledHorner)->Arg(10)->Arg(30)->Arg(70);
+
+void BM_RemainderSequence(benchmark::State& state) {
+  pr::Prng rng(5);
+  const auto input = pr::paper_input(static_cast<std::size_t>(state.range(0)),
+                                     rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pr::compute_remainder_sequence(input.poly));
+  }
+}
+BENCHMARK(BM_RemainderSequence)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_FullFind(benchmark::State& state) {
+  pr::Prng rng(6);
+  const auto input = pr::paper_input(static_cast<std::size_t>(state.range(0)),
+                                     rng);
+  pr::RootFinderConfig cfg;
+  cfg.mu_bits = 107;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pr::find_real_roots(input.poly, cfg));
+  }
+}
+BENCHMARK(BM_FullFind)->Arg(10)->Arg(30)->Arg(50);
+
+void BM_Berkowitz(benchmark::State& state) {
+  pr::Prng rng(7);
+  const auto m = pr::random_01_symmetric_matrix(
+      static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pr::charpoly_berkowitz(m));
+  }
+}
+BENCHMARK(BM_Berkowitz)->Arg(10)->Arg(30)->Arg(50);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// Table 1: asymptotic complexity of the algorithm's phases.
+//
+//   Computing Remainder Sequence   O(n^2) mults   O(n^4 (m+log n)^2) bits
+//   Computing Tree Polynomials     O(n^2) mults   O(n^4 (m+log n)^2) bits
+//   Interval Problems (avg)        O(n^2 (log n + log X)) mults
+//
+// We verify the *exponents* empirically: log-log slope fits of the
+// measured per-phase multiplication counts and bit costs against n.
+// Note m grows with n for the paper's inputs (m ~ c n), so the measured
+// bit-cost slope is n^4 * (m(n))^2 ~ n^6; the harness reports both the
+// raw slope and the slope after dividing out the measured (m + log n)^2.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prbench;
+  const bool full = has_flag(argc, argv, "--full");
+  print_header("Table 1: asymptotic complexity of the phases",
+               "Narendran-Tiwari Table 1");
+
+  const std::vector<int> degrees =
+      full ? std::vector<int>{10, 14, 20, 28, 40, 56, 70}
+           : std::vector<int>{10, 16, 26, 40, 56};
+  const std::size_t mu = digits_to_bits(16);
+
+  struct Sample {
+    double n, m;
+    double rem_mults, tree_mults, int_mults;
+    double rem_bits, tree_bits, int_bits;
+  };
+  std::vector<Sample> samples;
+
+  pr::TextTable table({4, 5, 12, 12, 12, 16, 16, 16});
+  std::cout << table.row({"n", "m", "rem.muls", "tree.muls", "intv.muls",
+                          "rem.bits", "tree.bits", "intv.bits"})
+            << "\n"
+            << table.rule() << "\n";
+  for (int n : degrees) {
+    const auto input = input_for(n, 0);
+    pr::RootFinderConfig cfg;
+    cfg.mu_bits = mu;
+    pr::instr::reset_all();
+    (void)pr::find_real_roots(input.poly, cfg);
+    const auto agg = pr::instr::aggregate();
+    const auto& rem = agg[pr::instr::Phase::kRemainder];
+    const auto& tree = agg[pr::instr::Phase::kTreePoly];
+    pr::instr::OpCounts intv = agg[pr::instr::Phase::kSieve];
+    intv += agg[pr::instr::Phase::kBisect];
+    intv += agg[pr::instr::Phase::kNewton];
+    intv += agg[pr::instr::Phase::kPreInterval];
+    samples.push_back({static_cast<double>(n),
+                       static_cast<double>(input.m_bits),
+                       static_cast<double>(rem.mul_count),
+                       static_cast<double>(tree.mul_count),
+                       static_cast<double>(intv.mul_count),
+                       static_cast<double>(rem.bit_cost()),
+                       static_cast<double>(tree.bit_cost()),
+                       static_cast<double>(intv.bit_cost())});
+    std::cout << table.row(
+                     {std::to_string(n), std::to_string(input.m_bits),
+                      pr::with_commas(rem.mul_count),
+                      pr::with_commas(tree.mul_count),
+                      pr::with_commas(intv.mul_count),
+                      pr::with_commas(rem.bit_cost()),
+                      pr::with_commas(tree.bit_cost()),
+                      pr::with_commas(intv.bit_cost())})
+              << "\n";
+  }
+
+  // Log-log slope fits.
+  auto slope = [&](auto field) {
+    std::vector<double> xs, ys;
+    for (const auto& s : samples) {
+      xs.push_back(std::log(s.n));
+      ys.push_back(std::log(field(s)));
+    }
+    return pr::ls_slope(xs, ys);
+  };
+  auto slope_norm = [&](auto field) {
+    // Divide out the measured (m + log n)^2 before fitting.
+    std::vector<double> xs, ys;
+    for (const auto& s : samples) {
+      const double denom = std::pow(s.m + std::log2(s.n), 2.0);
+      xs.push_back(std::log(s.n));
+      ys.push_back(std::log(field(s) / denom));
+    }
+    return pr::ls_slope(xs, ys);
+  };
+
+  std::cout << "\nfitted exponents (measured n-scaling):\n";
+  std::cout << "  remainder multiplications : n^"
+            << pr::fixed(slope([](auto& s) { return s.rem_mults; }), 2)
+            << "   (Table 1: n^2)\n";
+  std::cout << "  tree multiplications      : n^"
+            << pr::fixed(slope([](auto& s) { return s.tree_mults; }), 2)
+            << "   (Table 1: n^2)\n";
+  std::cout << "  interval multiplications  : n^"
+            << pr::fixed(slope([](auto& s) { return s.int_mults; }), 2)
+            << "   (Table 1: n^2 (log n + log X))\n";
+  std::cout << "  remainder bits / (m+logn)^2 : n^"
+            << pr::fixed(slope_norm([](auto& s) { return s.rem_bits; }), 2)
+            << "   (Table 1: n^4)\n";
+  std::cout << "  tree bits / (m+logn)^2      : n^"
+            << pr::fixed(slope_norm([](auto& s) { return s.tree_bits; }), 2)
+            << "   (Table 1: n^4)\n";
+  std::cout << "  interval bits               : n^"
+            << pr::fixed(slope([](auto& s) { return s.int_bits; }), 2)
+            << "   (Table 1: n^3 X(X+beta), with X, beta growing in n "
+               "through m(n))\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Command-line root finder.
+//
+//   $ example_polyroots_cli "x^3 - 2*x + 1" [--digits N] [--exact]
+//                           [--parallel T] [--stats]
+//
+// Parses the polynomial, finds all real roots, and prints them as
+// decimals (default), exact rational enclosures (--exact), or with the
+// per-phase instrumentation summary (--stats).
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "polyroots.hpp"
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "usage: example_polyroots_cli \"<polynomial in x>\" [options]\n"
+      "  --digits N    output precision in decimal digits (default 20)\n"
+      "  --exact       print exact rational enclosures ((k-1)/2^mu, k/2^mu]\n"
+      "  --parallel T  run the task-parallel driver with T threads\n"
+      "  --stats       print the per-phase operation counters\n"
+      "examples:\n"
+      "  example_polyroots_cli \"x^2 - 2\"\n"
+      "  example_polyroots_cli \"x^3 - 6x^2 + 11x - 6\" --digits 40 --exact\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  int digits = 20;
+  bool exact = false;
+  bool stats = false;
+  int threads = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--digits") == 0 && i + 1 < argc) {
+      digits = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--exact") == 0) {
+      exact = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--parallel") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (digits < 1 || digits > 100000) {
+    std::cerr << "--digits out of range\n";
+    return 2;
+  }
+
+  pr::Poly p;
+  try {
+    p = pr::Poly::parse(argv[1]);
+  } catch (const pr::Error& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (p.degree() < 1) {
+    std::cerr << "polynomial must be non-constant\n";
+    return 2;
+  }
+
+  pr::RootFinderConfig cfg;
+  cfg.mu_bits = static_cast<std::size_t>(
+      std::ceil(digits * std::log2(10.0))) + 4;
+
+  pr::instr::reset_all();
+  pr::RootReport report;
+  try {
+    if (threads > 0) {
+      pr::ParallelConfig pc;
+      pc.num_threads = threads;
+      report = pr::find_real_roots_parallel(p, cfg, pc).report;
+    } else {
+      report = pr::find_real_roots(p, cfg);
+    }
+  } catch (const pr::Error& e) {
+    std::cerr << "root finding failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "p(x) = " << p << "\n";
+  if (report.roots.empty()) {
+    std::cout << "no real roots\n";
+  }
+  for (std::size_t i = 0; i < report.roots.size(); ++i) {
+    std::cout << "x_" << i << " = "
+              << pr::scaled_to_string(report.roots[i], report.mu, digits);
+    if (report.multiplicities[i] != 1) {
+      std::cout << "  (multiplicity " << report.multiplicities[i] << ")";
+    }
+    std::cout << "\n";
+    if (exact) {
+      const auto enc = pr::root_enclosure(report.roots[i], report.mu);
+      std::cout << "      in (" << enc.lo << ", " << enc.hi << "]\n";
+    }
+  }
+  if (report.used_sturm_fallback) {
+    std::cout << "(used the Sturm fallback: the input has non-real roots "
+                 "or a degenerate sequence)\n";
+  }
+  if (stats) {
+    std::cout << "\n" << pr::instr::format(pr::instr::aggregate());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: approximate all real roots of a polynomial.
+//
+//   $ example_quickstart
+//
+// Demonstrates the core API: build a pr::Poly, configure the precision,
+// call pr::find_real_roots, and read the mu-approximations.
+#include <iostream>
+
+#include "polyroots.hpp"
+
+int main() {
+  // p(x) = (x^2 - 2)(x - 3)(x + 1) = x^4 - 2x^3 - 5x^2 + 4x + 6
+  //      => roots -sqrt(2), -1, sqrt(2), 3.
+  const pr::Poly p = pr::Poly{-2, 0, 1} * pr::Poly{-3, 1} * pr::Poly{1, 1};
+  std::cout << "p(x) = " << p << "\n\n";
+
+  pr::RootFinderConfig cfg;
+  cfg.mu_bits = 64;  // roots reported as ceil(2^64 x) / 2^64
+
+  const pr::RootReport report = pr::find_real_roots(p, cfg);
+
+  std::cout << "degree " << report.degree << ", " << report.roots.size()
+            << " real roots, all within [-2^" << report.bound_pow2 << ", 2^"
+            << report.bound_pow2 << "]\n\n";
+  for (std::size_t i = 0; i < report.roots.size(); ++i) {
+    std::cout << "  root " << i << " ~= "
+              << pr::scaled_to_string(report.roots[i], report.mu, 15)
+              << "  (multiplicity " << report.multiplicities[i] << ")\n";
+  }
+
+  // Exact rational form of the first root's cell: ((k-1)/2^mu, k/2^mu].
+  const pr::BigInt& k = report.roots[0];
+  std::cout << "\nthe first root lies in ((k-1)/2^64, k/2^64] with k = "
+            << k << "\n";
+
+  // How much work was that?  The library traces every multi-precision
+  // operation by phase.
+  std::cout << "\ninterval problems solved: "
+            << report.stats.intervals_solved
+            << " (sieve evals " << report.stats.sieve_evals
+            << ", bisection evals " << report.stats.bisect_evals
+            << ", Newton iterations " << report.stats.newton_iters << ")\n";
+  return 0;
+}

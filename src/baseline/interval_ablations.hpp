@@ -1,0 +1,28 @@
+// Helpers for the interval-solver ablation study (Eq. 38 vs Eq. 41):
+// runs the full root finder under each solver mode and reports the
+// sub-phase evaluation counts and bit costs side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/root_finder.hpp"
+#include "poly/poly.hpp"
+
+namespace pr {
+
+struct AblationRun {
+  IntervalSolverConfig::Mode mode;
+  IntervalStats stats;
+  std::uint64_t interval_bitcost = 0;  ///< sieve + bisect + newton bit cost
+  double wall_seconds = 0;
+};
+
+const char* solver_mode_name(IntervalSolverConfig::Mode mode);
+
+/// Runs find_real_roots on `p` once per mode; all runs must agree on the
+/// roots (checked), so the comparison isolates solver cost.
+std::vector<AblationRun> compare_solver_modes(const Poly& p,
+                                              std::size_t mu_bits);
+
+}  // namespace pr

@@ -1,0 +1,83 @@
+#include "baseline/sturm_finder.hpp"
+
+#include <algorithm>
+
+#include "core/scaled_point.hpp"
+#include "instr/phase.hpp"
+#include "poly/bounds.hpp"
+#include "poly/sturm.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+
+struct Finder {
+  const Poly& p;
+  const SturmChain chain;
+  std::size_t mu;
+  const IntervalSolverConfig& config;
+  IntervalStats* stats;
+  std::vector<BigInt> out;
+
+  /// Converts the exact root hi/2^s to its mu-approximation.
+  BigInt exact_root(const BigInt& hi, std::size_t s) const {
+    return s <= mu ? (hi << (mu - s)) : ceil_shift(hi, s - mu);
+  }
+
+  /// Root isolated in (lo/2^s, hi/2^s]; emit its mu-approximation.
+  void refine_single(const BigInt& lo, const BigInt& hi, std::size_t s) {
+    if (p.sign_at_scaled(hi, s) == 0) {
+      out.push_back(exact_root(hi, s));
+      return;
+    }
+    // The root is strictly interior now; one-sided sign at lo covers the
+    // case of a root sitting exactly on the (excluded) left endpoint.
+    const int s_lo = sign_right_limit(p, lo, s);
+    const int s_hi = p.sign_at_scaled(hi, s);
+    check_internal(s_lo * s_hi == -1, "sturm_find_roots: lost sign change");
+    if (s <= mu) {
+      const BigInt k = solve_isolated_interval(
+          p, lo << (mu - s), hi << (mu - s), s_lo, s_hi, mu, config, stats);
+      out.push_back(k);
+    } else {
+      // Isolation had to go below the output grid (clustered roots):
+      // resolve at scale s, then coarsen; the unit cell maps to a unique
+      // mu-cell because mu-grid points are s-grid points.
+      const BigInt k = solve_isolated_interval(p, lo, hi, s_lo, s_hi, s,
+                                               config, stats);
+      out.push_back(ceil_shift(k, s - mu));
+    }
+  }
+
+  void isolate(const BigInt& lo, const BigInt& hi, std::size_t s) {
+    const int cnt = chain.count_half_open(lo, hi, s);
+    if (cnt == 0) return;
+    if (cnt == 1) {
+      refine_single(lo, hi, s);
+      return;
+    }
+    const BigInt mid = lo + hi;  // at scale s+1
+    isolate(lo + lo, mid, s + 1);
+    isolate(mid, hi + hi, s + 1);
+  }
+};
+
+}  // namespace
+
+std::vector<BigInt> sturm_find_roots(const Poly& p, std::size_t mu,
+                                     const IntervalSolverConfig& config,
+                                     IntervalStats* stats) {
+  check_arg(p.degree() >= 1, "sturm_find_roots: degree >= 1 required");
+  // Everything not attributed to a refinement sub-phase (chain building,
+  // counting queries) lands in the baseline bucket.
+  instr::PhaseScope phase(instr::Phase::kBaseline);
+  Finder f{p, SturmChain(p), mu, config, stats, {}};
+  const std::size_t r = root_bound_pow2(p);
+  const BigInt bound = BigInt::pow2(r);
+  f.isolate(-bound, bound, 0);
+  std::sort(f.out.begin(), f.out.end());
+  return f.out;
+}
+
+}  // namespace pr

@@ -1,0 +1,257 @@
+// Core BigInt operations: construction, addition/subtraction, comparison,
+// shifts, gcd, pow.  Multiplication lives in bigint_mul.cpp, division in
+// bigint_div.cpp, string I/O in bigint_io.cpp.
+#include "bigint/bigint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "bigint/bigint_detail.hpp"
+#include "instr/counters.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+BigInt::BigInt(long long v) {
+  if (v == 0) return;
+  neg_ = v < 0;
+  // Avoid overflow on LLONG_MIN by negating in unsigned space.
+  unsigned long long mag =
+      neg_ ? ~static_cast<unsigned long long>(v) + 1ULL
+           : static_cast<unsigned long long>(v);
+  limbs_.push_back(static_cast<Limb>(mag));
+}
+
+BigInt::BigInt(unsigned long long v) {
+  if (v != 0) limbs_.push_back(static_cast<Limb>(v));
+}
+
+BigInt BigInt::pow2(std::size_t k) {
+  BigInt r;
+  r.limbs_.assign(k / 64 + 1, 0);
+  r.limbs_.back() = Limb{1} << (k % 64);
+  return r;
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) neg_ = false;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 64 * (limbs_.size() - 1) +
+         (64 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+bool BigInt::fits_int64() const {
+  if (limbs_.size() > 1) return false;
+  if (limbs_.empty()) return true;
+  if (!neg_) return limbs_[0] <= 0x7fffffffffffffffULL;
+  return limbs_[0] <= 0x8000000000000000ULL;
+}
+
+std::int64_t BigInt::to_int64() const {
+  check_arg(fits_int64(), "BigInt::to_int64: value out of range");
+  if (limbs_.empty()) return 0;
+  if (!neg_) return static_cast<std::int64_t>(limbs_[0]);
+  return static_cast<std::int64_t>(~limbs_[0] + 1ULL);
+}
+
+double BigInt::to_double() const {
+  double r = 0;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    r = r * 18446744073709551616.0 + static_cast<double>(*it);
+  }
+  return neg_ ? -r : r;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.neg_ = !r.neg_;
+  return r;
+}
+
+BigInt BigInt::abs() const {
+  BigInt r = *this;
+  r.neg_ = false;
+  return r;
+}
+
+int BigInt::cmp_mag(const std::vector<Limb>& a, const std::vector<Limb>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::cmp_abs(const BigInt& a, const BigInt& b) {
+  return cmp_mag(a.limbs_, b.limbs_);
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.neg_ != b.neg_)
+    return a.neg_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  const int c = BigInt::cmp_mag(a.limbs_, b.limbs_);
+  const int s = a.neg_ ? -c : c;
+  if (s < 0) return std::strong_ordering::less;
+  if (s > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::vector<BigInt::Limb> BigInt::add_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<Limb> r(big.size() + 1, 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    carry += big[i];
+    carry += small[i];
+    r[i] = static_cast<Limb>(carry);
+    carry >>= 64;
+  }
+  for (std::size_t i = small.size(); i < big.size(); ++i) {
+    carry += big[i];
+    r[i] = static_cast<Limb>(carry);
+    carry >>= 64;
+  }
+  r[big.size()] = static_cast<Limb>(carry);
+  return r;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  std::vector<Limb> r(a.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Limb bi = i < b.size() ? b[i] : 0;
+    const Limb ai = a[i];
+    const Limb d1 = ai - bi;
+    const std::uint64_t borrow1 = ai < bi;
+    const Limb d2 = d1 - borrow;
+    const std::uint64_t borrow2 = d1 < borrow;
+    r[i] = d2;
+    borrow = borrow1 | borrow2;
+  }
+  check_internal(borrow == 0, "BigInt::sub_mag: |a| < |b|");
+  return r;
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) {
+  instr::on_add(bit_length(), o.bit_length());
+  if (neg_ == o.neg_) {
+    limbs_ = add_mag(limbs_, o.limbs_);
+  } else {
+    const int c = cmp_mag(limbs_, o.limbs_);
+    if (c == 0) {
+      limbs_.clear();
+      neg_ = false;
+      return *this;
+    }
+    if (c > 0) {
+      limbs_ = sub_mag(limbs_, o.limbs_);
+    } else {
+      limbs_ = sub_mag(o.limbs_, limbs_);
+      neg_ = o.neg_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& o) {
+  instr::on_add(bit_length(), o.bit_length());
+  if (neg_ != o.neg_) {
+    limbs_ = add_mag(limbs_, o.limbs_);
+  } else {
+    const int c = cmp_mag(limbs_, o.limbs_);
+    if (c == 0) {
+      limbs_.clear();
+      neg_ = false;
+      return *this;
+    }
+    if (c > 0) {
+      limbs_ = sub_mag(limbs_, o.limbs_);
+    } else {
+      limbs_ = sub_mag(o.limbs_, limbs_);
+      neg_ = !neg_;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t k) {
+  if (is_zero() || k == 0) return *this;
+  const std::size_t limb_shift = k / 64;
+  const std::size_t bit_shift = k % 64;
+  std::vector<Limb> r(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      r[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(r);
+  trim();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t k) {
+  if (is_zero() || k == 0) return *this;
+  const std::size_t limb_shift = k / 64;
+  const std::size_t bit_shift = k % 64;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    neg_ = false;
+    return *this;
+  }
+  std::vector<Limb> r(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      r[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  limbs_ = std::move(r);
+  trim();
+  return *this;
+}
+
+BigInt gcd(BigInt a, BigInt b) {
+  a.neg_ = false;
+  b.neg_ = false;
+  while (!b.is_zero()) {
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt pow(const BigInt& base, unsigned exp) {
+  BigInt result(1);
+  BigInt b = base;
+  while (exp != 0) {
+    if (exp & 1u) result *= b;
+    exp >>= 1;
+    if (exp != 0) b *= b;
+  }
+  return result;
+}
+
+void BigInt::set_karatsuba_enabled(bool on) { detail::karatsuba_flag() = on; }
+bool BigInt::karatsuba_enabled() { return detail::karatsuba_flag(); }
+
+}  // namespace pr

@@ -1,0 +1,172 @@
+// Arbitrary-precision signed integers.
+//
+// This is the reproduction's substitute for the UNIX `mp` package the paper
+// used (Section 3.3).  Like `mp`, the default configuration uses the
+// straightforward algorithms -- linear-time addition/subtraction and
+// quadratic-time (schoolbook) multiplication and division -- because the
+// paper's entire Section 4 analysis assumes that cost model.  A Karatsuba
+// multiplier is included for the ablation bench and can be switched on via
+// set_karatsuba_enabled().
+//
+// Representation: sign + magnitude, magnitude as little-endian 64-bit limbs
+// with no leading zero limb; zero is the empty limb vector with
+// negative() == false.
+//
+// Every multiplication, division, and addition reports its operand sizes to
+// the instrumentation layer (src/instr/), attributed to the calling
+// thread's current phase.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pr {
+
+class BigInt {
+ public:
+  using Limb = std::uint64_t;
+
+  /// Zero.
+  BigInt() = default;
+
+  /// Conversions from built-in integers (implicit on purpose: polynomial
+  /// coefficients are naturally written as literals in tests/examples).
+  BigInt(long long v);                 // NOLINT(google-explicit-constructor)
+  BigInt(int v) : BigInt(static_cast<long long>(v)) {}  // NOLINT
+  BigInt(long v) : BigInt(static_cast<long long>(v)) {}  // NOLINT
+  explicit BigInt(unsigned long long v);
+
+  /// Parses an optionally signed decimal string ("-123", "42").
+  /// Throws InvalidArgument on malformed input.
+  static BigInt from_decimal(std::string_view s);
+
+  /// 2^k.
+  static BigInt pow2(std::size_t k);
+
+  // --- observers ---------------------------------------------------------
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool negative() const { return neg_; }
+  /// -1, 0, or +1.
+  int signum() const { return is_zero() ? 0 : (neg_ ? -1 : 1); }
+  /// True iff |*this| == 1.
+  bool is_unit() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  bool is_one() const { return is_unit() && !neg_; }
+  /// True iff the low bit of the magnitude is 0 (zero counts as even).
+  bool is_even() const { return limbs_.empty() || (limbs_[0] & 1) == 0; }
+
+  /// Number of bits in the magnitude; 0 for zero.
+  std::size_t bit_length() const;
+  /// Bit `i` (0 = least significant) of the magnitude.
+  bool bit(std::size_t i) const;
+  /// Number of limbs in the magnitude.
+  std::size_t limb_count() const { return limbs_.size(); }
+
+  /// True iff the value fits in a signed 64-bit integer.
+  bool fits_int64() const;
+  /// Value as int64; precondition fits_int64().
+  std::int64_t to_int64() const;
+  /// Approximate value as a double (may overflow to +/-inf).
+  double to_double() const;
+
+  std::string to_decimal() const;
+  std::string to_hex() const;  ///< e.g. "-0x1f"
+
+  // --- arithmetic --------------------------------------------------------
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& o);
+  BigInt& operator-=(const BigInt& o);
+  BigInt& operator*=(const BigInt& o);
+  /// Truncated division (rounds toward zero, like C++ integer division).
+  BigInt& operator/=(const BigInt& o);
+  /// Remainder matching operator/= (same sign as the dividend).
+  BigInt& operator%=(const BigInt& o);
+  BigInt& operator<<=(std::size_t k);
+  /// Right shift of the magnitude (truncation toward zero for negatives).
+  BigInt& operator>>=(std::size_t k);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  friend BigInt operator<<(BigInt a, std::size_t k) { return a <<= k; }
+  friend BigInt operator>>(BigInt a, std::size_t k) { return a >>= k; }
+
+  /// Truncated division with remainder: a = q*b + r, |r| < |b|,
+  /// sign(r) == sign(a) (or r == 0).  Throws DivisionByZero.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r);
+
+  /// Floor division: largest q with q*b <= a (for b > 0).
+  static BigInt fdiv(const BigInt& a, const BigInt& b);
+  /// Ceiling division: smallest q with q*b >= a (for b > 0).
+  static BigInt cdiv(const BigInt& a, const BigInt& b);
+
+  /// Exact division: precondition b | a; verified and enforced (throws
+  /// InternalError on violation -- the remainder-sequence recurrences of
+  /// the paper guarantee exactness, so a nonzero remainder is a bug).
+  static BigInt divexact(const BigInt& a, const BigInt& b);
+
+  // --- comparisons -------------------------------------------------------
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.neg_ == b.neg_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  /// Compares magnitudes only: -1, 0, +1.
+  static int cmp_abs(const BigInt& a, const BigInt& b);
+
+  // --- misc --------------------------------------------------------------
+
+  friend BigInt gcd(BigInt a, BigInt b);
+  /// base^exp (exp >= 0).
+  friend BigInt pow(const BigInt& base, unsigned exp);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+  /// Enables/disables the Karatsuba multiplier (default: disabled, to match
+  /// the paper's schoolbook cost model).  Affects all threads.
+  static void set_karatsuba_enabled(bool on);
+  static bool karatsuba_enabled();
+
+  /// Limb count at/above which Karatsuba recursion is used when enabled.
+  static constexpr std::size_t kKaratsubaThreshold = 24;
+
+ private:
+  std::vector<Limb> limbs_;
+  bool neg_ = false;
+
+  void trim();                       // drop leading zero limbs, fix -0
+  static std::vector<Limb> add_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  // Precondition: |a| >= |b|.
+  static std::vector<Limb> sub_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static int cmp_mag(const std::vector<Limb>& a, const std::vector<Limb>& b);
+
+  // bigint_mul.cpp
+  static std::vector<Limb> mul_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  // bigint_div.cpp: magnitude division, quotient into q, remainder into r.
+  static void divmod_mag(const std::vector<Limb>& a,
+                         const std::vector<Limb>& b, std::vector<Limb>& q,
+                         std::vector<Limb>& r);
+
+  friend class BigIntTestPeer;  // white-box unit tests
+};
+
+/// Convenience literal-ish helper: BigInt from decimal string.
+inline BigInt operator""_bi(const char* s, std::size_t) {
+  return BigInt::from_decimal(s);
+}
+
+}  // namespace pr

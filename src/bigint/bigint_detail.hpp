@@ -1,0 +1,12 @@
+// Internal helpers shared between the BigInt translation units.
+// Not part of the public API.
+#pragma once
+
+#include <atomic>
+
+namespace pr::detail {
+
+/// Global switch for the Karatsuba multiplier (defined in bigint_mul.cpp).
+std::atomic<bool>& karatsuba_flag();
+
+}  // namespace pr::detail

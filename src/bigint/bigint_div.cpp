@@ -1,0 +1,186 @@
+// BigInt division: Knuth's Algorithm D (TAOCP vol. 2, 4.3.1) on 64-bit
+// limbs, with a fast path for single-limb divisors.
+#include <bit>
+
+#include "bigint/bigint.hpp"
+#include "instr/counters.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+
+using Limb = BigInt::Limb;
+using LimbVec = std::vector<Limb>;
+
+void trim_vec(LimbVec& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+/// Divides `a` by the single limb `d`; returns quotient, sets `rem`.
+LimbVec div_by_limb(const LimbVec& a, Limb d, Limb& rem) {
+  LimbVec q(a.size(), 0);
+  unsigned __int128 r = 0;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    r = (r << 64) | a[i];
+    q[i] = static_cast<Limb>(r / d);
+    r %= d;
+  }
+  rem = static_cast<Limb>(r);
+  trim_vec(q);
+  return q;
+}
+
+/// Shifts `v` left by `s` bits (0 <= s < 64) into a fresh vector that has
+/// one extra limb of headroom.
+LimbVec shifted_left(const LimbVec& v, unsigned s) {
+  LimbVec r(v.size() + 1, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    r[i] |= v[i] << s;
+    if (s != 0) r[i + 1] = v[i] >> (64 - s);
+  }
+  return r;
+}
+
+}  // namespace
+
+void BigInt::divmod_mag(const std::vector<Limb>& a, const std::vector<Limb>& b,
+                        std::vector<Limb>& q, std::vector<Limb>& r) {
+  check_internal(!b.empty(), "divmod_mag: zero divisor");
+  if (cmp_mag(a, b) < 0) {
+    q.clear();
+    r = a;
+    return;
+  }
+  if (b.size() == 1) {
+    Limb rem = 0;
+    q = div_by_limb(a, b[0], rem);
+    r.clear();
+    if (rem != 0) r.push_back(rem);
+    return;
+  }
+
+  // Knuth Algorithm D.  Normalize so the top limb of v has its MSB set.
+  const unsigned s = static_cast<unsigned>(std::countl_zero(b.back()));
+  LimbVec u = shifted_left(a, s);                   // size a.size()+1
+  LimbVec v = shifted_left(b, s);
+  trim_vec(v);
+  const std::size_t n = v.size();
+  check_internal(n >= 2 && (v.back() >> 63) != 0, "divmod_mag: bad normalize");
+  const std::size_t m = u.size() - 1 - n;           // quotient has m+1 limbs
+
+  q.assign(m + 1, 0);
+  const unsigned __int128 base = static_cast<unsigned __int128>(1) << 64;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat from the top two limbs of the current window.
+    unsigned __int128 num =
+        (static_cast<unsigned __int128>(u[j + n]) << 64) | u[j + n - 1];
+    unsigned __int128 qhat = num / v[n - 1];
+    unsigned __int128 rhat = num % v[n - 1];
+    while (qhat >= base ||
+           qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= base) break;
+    }
+
+    // Multiply and subtract: u[j..j+n] -= qhat * v.
+    unsigned __int128 borrow = 0;
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      carry += qhat * v[i];
+      const Limb sub = static_cast<Limb>(carry);
+      carry >>= 64;
+      const Limb ui = u[j + i];
+      Limb res = ui - sub;
+      std::uint64_t b1 = ui < sub;
+      const Limb res2 = res - static_cast<Limb>(borrow);
+      b1 |= res < static_cast<Limb>(borrow);
+      u[j + i] = res2;
+      borrow = b1;
+    }
+    {
+      const Limb ui = u[j + n];
+      const Limb sub = static_cast<Limb>(carry);
+      Limb res = ui - sub;
+      std::uint64_t b1 = ui < sub;
+      const Limb res2 = res - static_cast<Limb>(borrow);
+      b1 |= res < static_cast<Limb>(borrow);
+      u[j + n] = res2;
+      borrow = b1;
+    }
+
+    if (borrow != 0) {
+      // qhat was one too large; add v back.
+      --qhat;
+      unsigned __int128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        c += u[j + i];
+        c += v[i];
+        u[j + i] = static_cast<Limb>(c);
+        c >>= 64;
+      }
+      u[j + n] += static_cast<Limb>(c);
+    }
+    q[j] = static_cast<Limb>(qhat);
+  }
+
+  trim_vec(q);
+  // Remainder = u[0..n) >> s.
+  u.resize(n);
+  r.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = u[i] >> s;
+    if (s != 0 && i + 1 < n) r[i] |= u[i + 1] << (64 - s);
+  }
+  trim_vec(r);
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
+  if (b.is_zero()) throw DivisionByZero();
+  instr::on_div(a.bit_length(), b.bit_length());
+  std::vector<Limb> qm, rm;
+  divmod_mag(a.limbs_, b.limbs_, qm, rm);
+  q.limbs_ = std::move(qm);
+  r.limbs_ = std::move(rm);
+  q.neg_ = !q.limbs_.empty() && (a.neg_ != b.neg_);
+  r.neg_ = !r.limbs_.empty() && a.neg_;
+}
+
+BigInt& BigInt::operator/=(const BigInt& o) {
+  BigInt q, r;
+  divmod(*this, o, q, r);
+  *this = std::move(q);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& o) {
+  BigInt q, r;
+  divmod(*this, o, q, r);
+  *this = std::move(r);
+  return *this;
+}
+
+BigInt BigInt::fdiv(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  divmod(a, b, q, r);
+  // Truncated q rounds toward zero; floor rounds toward -inf.
+  if (!r.is_zero() && (a.neg_ != b.neg_)) q -= BigInt(1);
+  return q;
+}
+
+BigInt BigInt::cdiv(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  divmod(a, b, q, r);
+  if (!r.is_zero() && (a.neg_ == b.neg_)) q += BigInt(1);
+  return q;
+}
+
+BigInt BigInt::divexact(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  divmod(a, b, q, r);
+  check_internal(r.is_zero(), "BigInt::divexact: division was not exact");
+  return q;
+}
+
+}  // namespace pr

@@ -1,0 +1,123 @@
+// BigInt string conversion.  Operates directly on limb vectors so that
+// I/O does not pollute the instrumentation counters.
+#include <array>
+#include <ostream>
+
+#include "bigint/bigint.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+
+using Limb = BigInt::Limb;
+using LimbVec = std::vector<Limb>;
+
+constexpr Limb kChunkBase = 10000000000000000000ULL;  // 10^19
+constexpr int kChunkDigits = 19;
+
+void trim_vec(LimbVec& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+/// v /= d in place; returns the remainder.  No instrumentation.
+Limb div_limb_inplace(LimbVec& v, Limb d) {
+  unsigned __int128 r = 0;
+  for (std::size_t i = v.size(); i-- > 0;) {
+    r = (r << 64) | v[i];
+    v[i] = static_cast<Limb>(r / d);
+    r %= d;
+  }
+  trim_vec(v);
+  return static_cast<Limb>(r);
+}
+
+/// v = v * m + a in place.  No instrumentation.
+void mul_add_inplace(LimbVec& v, Limb m, Limb a) {
+  unsigned __int128 carry = a;
+  for (auto& limb : v) {
+    carry += static_cast<unsigned __int128>(limb) * m;
+    limb = static_cast<Limb>(carry);
+    carry >>= 64;
+  }
+  if (carry != 0) v.push_back(static_cast<Limb>(carry));
+}
+
+}  // namespace
+
+BigInt BigInt::from_decimal(std::string_view s) {
+  check_arg(!s.empty(), "BigInt::from_decimal: empty string");
+  bool neg = false;
+  std::size_t pos = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    neg = s[0] == '-';
+    pos = 1;
+  }
+  check_arg(pos < s.size(), "BigInt::from_decimal: sign without digits");
+
+  BigInt out;
+  Limb chunk = 0;
+  int chunk_len = 0;
+  auto flush = [&] {
+    Limb scale = 1;
+    for (int i = 0; i < chunk_len; ++i) scale *= 10;
+    mul_add_inplace(out.limbs_, scale, chunk);
+    chunk = 0;
+    chunk_len = 0;
+  };
+  for (; pos < s.size(); ++pos) {
+    const char ch = s[pos];
+    check_arg(ch >= '0' && ch <= '9',
+              "BigInt::from_decimal: invalid character");
+    chunk = chunk * 10 + static_cast<Limb>(ch - '0');
+    if (++chunk_len == kChunkDigits) flush();
+  }
+  if (chunk_len > 0) flush();
+  trim_vec(out.limbs_);
+  out.neg_ = neg && !out.limbs_.empty();
+  return out;
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) return "0";
+  LimbVec work = limbs_;
+  std::string out;
+  while (!work.empty()) {
+    Limb rem = div_limb_inplace(work, kChunkBase);
+    if (work.empty()) {
+      // Most significant chunk: no zero padding.
+      out.insert(0, std::to_string(rem));
+    } else {
+      std::string part = std::to_string(rem);
+      out.insert(0, std::string(kChunkDigits - part.size(), '0') + part);
+    }
+  }
+  if (neg_) out.insert(0, "-");
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0x0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    Limb v = limbs_[i];
+    const int digits = (i + 1 == limbs_.size()) ? 0 : 16;
+    std::string part;
+    while (v != 0) {
+      part.insert(part.begin(), kHex[v & 0xf]);
+      v >>= 4;
+    }
+    if (digits != 0) {
+      part.insert(0, std::string(16 - part.size(), '0'));
+    }
+    out.insert(0, part);
+  }
+  return (neg_ ? "-0x" : "0x") + out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.to_decimal();
+}
+
+}  // namespace pr

@@ -1,0 +1,160 @@
+// BigInt multiplication: schoolbook (default, matching the paper's `mp`
+// cost model) and Karatsuba (ablation; see bench_ablation_karatsuba).
+#include <algorithm>
+
+#include "bigint/bigint.hpp"
+#include "bigint/bigint_detail.hpp"
+#include "instr/counters.hpp"
+
+namespace pr {
+
+namespace detail {
+
+std::atomic<bool>& karatsuba_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+}  // namespace detail
+
+namespace {
+
+using Limb = BigInt::Limb;
+using LimbVec = std::vector<Limb>;
+
+/// r[ro..] += a * b (schoolbook); r must be large enough.
+void mul_acc_schoolbook(const Limb* a, std::size_t an, const Limb* b,
+                        std::size_t bn, Limb* r) {
+  for (std::size_t i = 0; i < an; ++i) {
+    unsigned __int128 carry = 0;
+    const unsigned __int128 ai = a[i];
+    for (std::size_t j = 0; j < bn; ++j) {
+      carry += r[i + j];
+      carry += ai * b[j];
+      r[i + j] = static_cast<Limb>(carry);
+      carry >>= 64;
+    }
+    std::size_t k = i + bn;
+    while (carry != 0) {
+      carry += r[k];
+      r[k] = static_cast<Limb>(carry);
+      carry >>= 64;
+      ++k;
+    }
+  }
+}
+
+LimbVec mul_schoolbook(const LimbVec& a, const LimbVec& b) {
+  LimbVec r(a.size() + b.size(), 0);
+  mul_acc_schoolbook(a.data(), a.size(), b.data(), b.size(), r.data());
+  return r;
+}
+
+// --- Karatsuba ------------------------------------------------------------
+
+LimbVec kara_mul(const Limb* a, std::size_t an, const Limb* b, std::size_t bn);
+
+/// Adds `b` into `a` starting at offset `off`; grows `a` if needed.
+void add_into(LimbVec& a, const LimbVec& b, std::size_t off) {
+  if (a.size() < off + b.size() + 1) a.resize(off + b.size() + 1, 0);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    carry += a[off + i];
+    carry += b[i];
+    a[off + i] = static_cast<Limb>(carry);
+    carry >>= 64;
+  }
+  std::size_t k = off + b.size();
+  while (carry != 0) {
+    carry += a[k];
+    a[k] = static_cast<Limb>(carry);
+    carry >>= 64;
+    ++k;
+  }
+}
+
+/// Subtracts `b` from `a` (a >= b as magnitudes; trailing zeros allowed).
+void sub_from(LimbVec& a, const LimbVec& b) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < b.size() || borrow; ++i) {
+    const Limb bi = i < b.size() ? b[i] : 0;
+    const Limb ai = a[i];
+    const Limb d1 = ai - bi;
+    const std::uint64_t borrow1 = ai < bi;
+    const Limb d2 = d1 - borrow;
+    const std::uint64_t borrow2 = d1 < borrow;
+    a[i] = d2;
+    borrow = borrow1 | borrow2;
+  }
+}
+
+void trim_vec(LimbVec& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+LimbVec kara_mul(const Limb* a, std::size_t an, const Limb* b,
+                 std::size_t bn) {
+  if (an == 0 || bn == 0) return {};
+  if (std::min(an, bn) < BigInt::kKaratsubaThreshold) {
+    LimbVec r(an + bn, 0);
+    mul_acc_schoolbook(a, an, b, bn, r.data());
+    trim_vec(r);
+    return r;
+  }
+  const std::size_t half = (std::max(an, bn) + 1) / 2;
+  const std::size_t a_lo_n = std::min(half, an);
+  const std::size_t b_lo_n = std::min(half, bn);
+  const std::size_t a_hi_n = an - a_lo_n;
+  const std::size_t b_hi_n = bn - b_lo_n;
+
+  LimbVec z0 = kara_mul(a, a_lo_n, b, b_lo_n);
+  LimbVec z2 = kara_mul(a + a_lo_n, a_hi_n, b + b_lo_n, b_hi_n);
+
+  // (a_lo + a_hi) and (b_lo + b_hi)
+  LimbVec asum(a, a + a_lo_n);
+  add_into(asum, LimbVec(a + a_lo_n, a + an), 0);
+  trim_vec(asum);
+  LimbVec bsum(b, b + b_lo_n);
+  add_into(bsum, LimbVec(b + b_lo_n, b + bn), 0);
+  trim_vec(bsum);
+
+  LimbVec z1 = kara_mul(asum.data(), asum.size(), bsum.data(), bsum.size());
+  sub_from(z1, z0);
+  sub_from(z1, z2);
+  trim_vec(z1);
+
+  LimbVec r = std::move(z0);
+  add_into(r, z1, half);
+  add_into(r, z2, 2 * half);
+  trim_vec(r);
+  return r;
+}
+
+}  // namespace
+
+std::vector<BigInt::Limb> BigInt::mul_mag(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  if (detail::karatsuba_flag().load(std::memory_order_relaxed) &&
+      std::min(a.size(), b.size()) >= kKaratsubaThreshold) {
+    return kara_mul(a.data(), a.size(), b.data(), b.size());
+  }
+  auto r = mul_schoolbook(a, b);
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  return r;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  instr::on_mul(a.bit_length(), b.bit_length());
+  BigInt r;
+  r.limbs_ = BigInt::mul_mag(a.limbs_, b.limbs_);
+  r.neg_ = !r.limbs_.empty() && (a.neg_ != b.neg_);
+  return r;
+}
+
+BigInt& BigInt::operator*=(const BigInt& o) {
+  *this = *this * o;
+  return *this;
+}
+
+}  // namespace pr

@@ -1,0 +1,495 @@
+#include "core/parallel_driver.hpp"
+
+#include <array>
+#include <memory>
+
+#include "core/interval_stage.hpp"
+#include "core/scaled_point.hpp"
+#include "core/tree.hpp"
+#include "core/tree_builder.hpp"
+#include "instr/phase.hpp"
+#include "poly/bounds.hpp"
+#include "poly/remainder_sequence.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+
+/// All shared mutable state of one parallel run.  Every field is written
+/// by exactly one task and read only by tasks ordered after it, so no
+/// locking is needed beyond the pool's queue synchronization.
+struct RunState {
+  Poly work;                 // F_0 (primitive, assumed squarefree/normal)
+  int n = 0;
+  std::size_t mu = 0;
+  BigInt bound_scaled;
+  IntervalSolverConfig solver;
+
+  RemainderSequence rs;
+  // Staging for F_{i+1} coefficients (index: [i+1][j]).
+  std::vector<std::vector<BigInt>> fstage;
+  // Per-iteration quotient data (valid after the iteration's Q task).
+  std::vector<BigInt> q0, q1, ci_sq, cprev_sq;
+  // Per-operation grain staging: products of Eq. 18 ([i+1][j][0..2]).
+  std::vector<std::vector<std::array<BigInt, 3>>> opstage;
+
+  Tree tree;
+  struct NodeScratch {
+    PolyMat22 w;                              // U_k * T_left
+    std::vector<BigInt> points;               // sentinels + merged ys
+    std::vector<InterleavePointInfo> infos;   // PREINTERVAL outputs
+    std::vector<IntervalStats> stats;         // per-interval stats
+  };
+  std::vector<NodeScratch> scratch;
+
+  explicit RunState(const Poly& p) : work(p), n(p.degree()), tree(p.degree()) {
+    const auto un = static_cast<std::size_t>(n);
+    rs.n = n;
+    rs.nstar = n;
+    rs.gcd_part = Poly{1};
+    rs.F.assign(un + 1, Poly{});
+    rs.Q.assign(un, Poly{});
+    rs.c.assign(un + 1, BigInt(1));
+    fstage.assign(un + 1, {});
+    q0.assign(un, BigInt());
+    q1.assign(un, BigInt());
+    ci_sq.assign(un, BigInt());
+    cprev_sq.assign(un, BigInt());
+    opstage.assign(un + 1, {});
+    scratch.resize(tree.nodes().size());
+  }
+};
+
+/// Builds the whole task graph for one run.  Returns the id of the root
+/// node's roots-marker (the final task).
+class GraphBuilder {
+ public:
+  GraphBuilder(RunState& st, TaskGraph& g, const ParallelConfig& pc)
+      : st_(st), g_(g), pc_(pc) {}
+
+  void build() {
+    build_remainder_stage();
+    build_tree_stage();
+  }
+
+ private:
+  RunState& st_;
+  TaskGraph& g_;
+  const ParallelConfig& pc_;
+
+  // mark_[k] completes when F_k (and c_k) are valid, k >= 1.
+  std::vector<TaskId> mark_;
+  // q_ready_[i] completes when Q_i, c_i, c_{i-1}, and the squared leading
+  // coefficients for iteration i are valid, 1 <= i <= n-1.
+  std::vector<TaskId> q_ready_;
+  // Per-tree-node completion tasks.
+  std::vector<TaskId> t_ready_;      // polynomial (and T matrix) published
+  std::vector<TaskId> roots_ready_;  // roots vector complete
+
+  void finish_iteration(int i) {
+    // Publishes F_{i+1} from the staging area and checks normality.
+    RunState& st = st_;
+    Poly next{std::move(st.fstage[static_cast<std::size_t>(i + 1)])};
+    if (next.is_zero()) {
+      throw NonNormalSequence("repeated roots: F_" + std::to_string(i + 1) +
+                              " vanished");
+    }
+    if (next.degree() != st.n - i - 1) {
+      throw NonNormalSequence("premature degree drop at F_" +
+                              std::to_string(i + 1));
+    }
+    st.rs.c[static_cast<std::size_t>(i + 1)] = next.leading();
+    st.rs.F[static_cast<std::size_t>(i + 1)] = std::move(next);
+    if (i == st.n - 1 && real_root_count(st.rs) != st.n) {
+      throw NonNormalSequence("input has non-real roots");
+    }
+  }
+
+  void make_quotient_task(int i) {
+    RunState& st = st_;
+    const TaskId q = g_.add(TaskKind::kQuotient, i, [&st, i] {
+      instr::PhaseScope phase(instr::Phase::kRemainder);
+      const auto ui = static_cast<std::size_t>(i);
+      const Poly& fprev = st.rs.F[ui - 1];
+      const Poly& fcur = st.rs.F[ui];
+      quotient_coeffs(fprev, fcur, st.q1[ui], st.q0[ui]);
+      st.rs.Q[ui] = Poly(std::vector<BigInt>{st.q0[ui], st.q1[ui]});
+      const BigInt& ci = st.rs.c[ui];
+      const BigInt& cp = st.rs.c[ui - 1];
+      st.ci_sq[ui] = ci * ci;
+      st.cprev_sq[ui] = cp * cp;
+      st.fstage[ui + 1].assign(static_cast<std::size_t>(st.n - i), BigInt());
+    });
+    g_.add_edge(mark_[static_cast<std::size_t>(i)], q);
+    q_ready_[static_cast<std::size_t>(i)] = q;
+  }
+
+  void build_remainder_stage() {
+    RunState& st = st_;
+    const int n = st.n;
+    mark_.assign(static_cast<std::size_t>(n) + 1, -1);
+    q_ready_.assign(static_cast<std::size_t>(n), -1);
+
+    const TaskId seed = g_.add(TaskKind::kSeed, 0, [&st] {
+      instr::PhaseScope phase(instr::Phase::kRemainder);
+      st.rs.F[0] = st.work;
+      st.rs.F[1] = st.work.derivative();
+      st.rs.c[0] = BigInt(st.work.leading().signum());
+      st.rs.c[1] = st.rs.F[1].leading();
+    });
+    mark_[1] = seed;
+
+    if (pc_.sequential_remainder) {
+      // One task for the whole stage (the paper's run-time option).
+      const TaskId all = g_.add(TaskKind::kCoeff, -1, [&st] {
+        const RemainderSequence full = compute_remainder_sequence(st.work);
+        if (full.extended()) {
+          throw NonNormalSequence("repeated roots detected");
+        }
+        if (real_root_count(full) != st.n) {
+          throw NonNormalSequence("input has non-real roots");
+        }
+        st.rs = full;
+        for (int i = 1; i <= st.n - 1; ++i) {
+          const auto ui = static_cast<std::size_t>(i);
+          st.q0[ui] = st.rs.Q[ui].coeff(0);
+          st.q1[ui] = st.rs.Q[ui].coeff(1);
+          st.ci_sq[ui] = st.rs.c[ui] * st.rs.c[ui];
+          st.cprev_sq[ui] = st.rs.c[ui - 1] * st.rs.c[ui - 1];
+        }
+      });
+      g_.add_edge(seed, all);
+      for (int k = 2; k <= n; ++k) mark_[static_cast<std::size_t>(k)] = all;
+      for (int i = 1; i <= n - 1; ++i) q_ready_[static_cast<std::size_t>(i)] = all;
+      return;
+    }
+
+    for (int i = 1; i <= n - 1; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (pc_.grain == RemainderGrain::kPerIteration) {
+        const TaskId it = g_.add(TaskKind::kCoeff, i, [&st, i, this] {
+          instr::PhaseScope phase(instr::Phase::kRemainder);
+          const auto uidx = static_cast<std::size_t>(i);
+          const Poly& fprev = st.rs.F[uidx - 1];
+          const Poly& fcur = st.rs.F[uidx];
+          quotient_coeffs(fprev, fcur, st.q1[uidx], st.q0[uidx]);
+          st.rs.Q[uidx] = Poly(std::vector<BigInt>{st.q0[uidx], st.q1[uidx]});
+          const BigInt& ci = st.rs.c[uidx];
+          const BigInt& cp = st.rs.c[uidx - 1];
+          st.ci_sq[uidx] = ci * ci;
+          st.cprev_sq[uidx] = cp * cp;
+          st.fstage[uidx + 1].assign(static_cast<std::size_t>(st.n - i),
+                                     BigInt());
+          for (int j = 0; j <= st.n - i - 1; ++j) {
+            st.fstage[uidx + 1][static_cast<std::size_t>(j)] = next_f_coeff(
+                fprev, fcur, st.q1[uidx], st.q0[uidx], st.ci_sq[uidx],
+                st.cprev_sq[uidx], static_cast<std::size_t>(j));
+          }
+          finish_iteration(i);
+        });
+        g_.add_edge(mark_[ui], it);
+        q_ready_[ui] = it;
+        mark_[ui + 1] = it;
+        continue;
+      }
+
+      make_quotient_task(i);
+      const TaskId marker = g_.add(TaskKind::kIterMark, i,
+                                   [this, i] { finish_iteration(i); });
+      for (int j = 0; j <= n - i - 1; ++j) {
+        const auto uj = static_cast<std::size_t>(j);
+        if (pc_.grain == RemainderGrain::kPerCoefficient) {
+          const TaskId c = g_.add(TaskKind::kCoeff, i, [&st, i, uj] {
+            instr::PhaseScope phase(instr::Phase::kRemainder);
+            const auto uidx = static_cast<std::size_t>(i);
+            st.fstage[uidx + 1][uj] = next_f_coeff(
+                st.rs.F[uidx - 1], st.rs.F[uidx], st.q1[uidx], st.q0[uidx],
+                st.ci_sq[uidx], st.cprev_sq[uidx], uj);
+          });
+          g_.add_edge(q_ready_[ui], c);
+          g_.add_edge(c, marker);
+        } else {  // kPerOperation: the paper's finest grain
+          // Stage the three products of Eq. 18 in separate tasks, then
+          // combine (subtractions + exact division) in a fourth.
+          if (st.opstage[ui + 1].empty()) {
+            st.opstage[ui + 1].resize(static_cast<std::size_t>(n - i));
+          }
+          TaskId prods[3];
+          for (int op = 0; op < 3; ++op) {
+            prods[op] =
+                g_.add(TaskKind::kMulOp, i, [&st, i, uj, op] {
+                  instr::PhaseScope phase(instr::Phase::kRemainder);
+                  const auto uidx = static_cast<std::size_t>(i);
+                  auto& slot = st.opstage[uidx + 1][uj][
+                      static_cast<std::size_t>(op)];
+                  const Poly& fcur = st.rs.F[uidx];
+                  const Poly& fprev = st.rs.F[uidx - 1];
+                  switch (op) {
+                    case 0: slot = fcur.coeff(uj) * st.q0[uidx]; break;
+                    case 1:
+                      slot = uj > 0 ? fcur.coeff(uj - 1) * st.q1[uidx]
+                                    : BigInt();
+                      break;
+                    default: slot = st.ci_sq[uidx] * fprev.coeff(uj); break;
+                  }
+                });
+            g_.add_edge(q_ready_[ui], prods[op]);
+          }
+          const TaskId comb = g_.add(TaskKind::kCombineOp, i, [&st, i, uj] {
+            instr::PhaseScope phase(instr::Phase::kRemainder);
+            const auto uidx = static_cast<std::size_t>(i);
+            const auto& slots = st.opstage[uidx + 1][uj];
+            st.fstage[uidx + 1][uj] = BigInt::divexact(
+                slots[0] + slots[1] - slots[2], st.cprev_sq[uidx]);
+          });
+          for (auto prod : prods) g_.add_edge(prod, comb);
+          g_.add_edge(comb, marker);
+        }
+      }
+      mark_[ui + 1] = marker;
+    }
+  }
+
+  void build_tree_stage() {
+    RunState& st = st_;
+    const auto& order = st.tree.postorder();
+    t_ready_.assign(st.tree.nodes().size(), -1);
+    roots_ready_.assign(st.tree.nodes().size(), -1);
+    for (int idx : order) {
+      build_node_poly_tasks(idx);
+    }
+    for (int idx : order) {
+      build_node_root_tasks(idx);
+    }
+  }
+
+  /// Task completing when F_k and c_k are available; F_0/c_0 come from the
+  /// seed task.
+  TaskId f_available(int k) const {
+    return k <= 0 ? mark_[1] : mark_[static_cast<std::size_t>(std::max(k, 1))];
+  }
+
+  void build_node_poly_tasks(int idx) {
+    RunState& st = st_;
+    Tree& tree = st.tree;
+    TreeNode& nd = tree.node(idx);
+    const int n = st.n;
+
+    if (nd.empty()) {
+      const TaskId t = g_.add(TaskKind::kSetPoly, idx, [&st, idx] {
+        instr::PhaseScope phase(instr::Phase::kTreePoly);
+        TreeNode& node = st.tree.node(idx);
+        const BigInt& cp = st.rs.c[static_cast<std::size_t>(node.i - 1)];
+        const BigInt sq = cp * cp;
+        node.poly = Poly{1};
+        node.t.e[0][0] = Poly::constant(sq);
+        node.t.e[0][1] = Poly{};
+        node.t.e[1][0] = Poly{};
+        node.t.e[1][1] = Poly::constant(sq);
+        node.has_t = true;
+      });
+      g_.add_edge(f_available(nd.i - 1), t);
+      t_ready_[static_cast<std::size_t>(idx)] = t;
+      return;
+    }
+    if (nd.spine(n)) {
+      const TaskId t = g_.add(TaskKind::kSetPoly, idx, [&st, idx] {
+        instr::PhaseScope phase(instr::Phase::kTreePoly);
+        TreeNode& node = st.tree.node(idx);
+        node.poly = st.rs.F[static_cast<std::size_t>(node.i - 1)];
+        node.has_t = false;
+      });
+      g_.add_edge(f_available(nd.i - 1), t);
+      t_ready_[static_cast<std::size_t>(idx)] = t;
+      return;
+    }
+    if (nd.leaf()) {
+      const TaskId t = g_.add(TaskKind::kSetPoly, idx, [&st, idx] {
+        instr::PhaseScope phase(instr::Phase::kTreePoly);
+        TreeNode& node = st.tree.node(idx);
+        node.t = t_leaf(st.rs, node.i);
+        node.has_t = true;
+        node.poly = node.t.at(1, 1);
+      });
+      g_.add_edge(q_ready_[static_cast<std::size_t>(nd.i)], t);
+      t_ready_[static_cast<std::size_t>(idx)] = t;
+      return;
+    }
+
+    // Internal non-spine node: two matrix products, four entry tasks each
+    // (the paper's COMPUTEPOLY decomposition, Section 3.2).
+    const int k = nd.split;
+    const TaskId left_ready = t_ready_[static_cast<std::size_t>(nd.left)];
+    const TaskId right_ready = t_ready_[static_cast<std::size_t>(nd.right)];
+    const TaskId uk_ready = q_ready_[static_cast<std::size_t>(k)];
+
+    TaskId me1[2][2];
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        me1[r][c] = g_.add(TaskKind::kMatEntry1, idx, [&st, idx, k, r, c] {
+          instr::PhaseScope phase(instr::Phase::kTreePoly);
+          TreeNode& node = st.tree.node(idx);
+          const PolyMat22 u = u_matrix(st.rs, k);
+          const PolyMat22& tl = st.tree.node(node.left).t;
+          st.scratch[static_cast<std::size_t>(idx)].w.e[r][c] =
+              PolyMat22::mul_entry(u, tl, r, c);
+        });
+        g_.add_edge(left_ready, me1[r][c]);
+        g_.add_edge(uk_ready, me1[r][c]);
+      }
+    }
+    TaskId me2[2][2];
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        me2[r][c] = g_.add(TaskKind::kMatEntry2, idx, [&st, idx, k, r, c] {
+          instr::PhaseScope phase(instr::Phase::kTreePoly);
+          TreeNode& node = st.tree.node(idx);
+          const PolyMat22& tr = st.tree.node(node.right).t;
+          const PolyMat22& w = st.scratch[static_cast<std::size_t>(idx)].w;
+          const BigInt& ck = st.rs.c[static_cast<std::size_t>(k)];
+          const BigInt& cp = st.rs.c[static_cast<std::size_t>(k - 1)];
+          node.t.e[r][c] = PolyMat22::mul_entry(tr, w, r, c)
+                               .divexact_scalar(ck * ck * cp * cp);
+        });
+        g_.add_edge(right_ready, me2[r][c]);
+        g_.add_edge(me1[0][c], me2[r][c]);
+        g_.add_edge(me1[1][c], me2[r][c]);
+      }
+    }
+    const TaskId publish = g_.add(TaskKind::kSetPoly, idx, [&st, idx] {
+      TreeNode& node = st.tree.node(idx);
+      node.has_t = true;
+      node.poly = node.t.at(1, 1);
+      check_internal(node.poly.degree() == node.length(),
+                     "parallel COMPUTEPOLY: unexpected degree");
+    });
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) g_.add_edge(me2[r][c], publish);
+    }
+    t_ready_[static_cast<std::size_t>(idx)] = publish;
+  }
+
+  void build_node_root_tasks(int idx) {
+    RunState& st = st_;
+    TreeNode& nd = st.tree.node(idx);
+    const TaskId poly_ready = t_ready_[static_cast<std::size_t>(idx)];
+
+    if (nd.empty()) {
+      const TaskId m = g_.add(TaskKind::kRootsMark, idx, {});
+      g_.add_edge(poly_ready, m);
+      roots_ready_[static_cast<std::size_t>(idx)] = m;
+      return;
+    }
+    if (nd.length() == 1) {
+      const TaskId t = g_.add(TaskKind::kLinRoot, idx, [&st, idx] {
+        TreeNode& node = st.tree.node(idx);
+        node.roots = {BigInt::cdiv(-(node.poly.coeff(0) << st.mu),
+                                   node.poly.coeff(1))};
+      });
+      g_.add_edge(poly_ready, t);
+      roots_ready_[static_cast<std::size_t>(idx)] = t;
+      return;
+    }
+
+    const int d = nd.length();
+    auto& scratch = st.scratch[static_cast<std::size_t>(idx)];
+    scratch.infos.resize(static_cast<std::size_t>(d) + 1);
+    scratch.stats.resize(static_cast<std::size_t>(d));
+
+    const TaskId sort = g_.add(TaskKind::kSort, idx, [&st, idx] {
+      TreeNode& node = st.tree.node(idx);
+      auto& sc = st.scratch[static_cast<std::size_t>(idx)];
+      std::vector<BigInt> ys = merge_child_roots(st.tree, idx);
+      sc.points.clear();
+      sc.points.reserve(ys.size() + 2);
+      sc.points.push_back(-st.bound_scaled);
+      for (auto& y : ys) sc.points.push_back(std::move(y));
+      sc.points.push_back(st.bound_scaled);
+      node.roots.assign(static_cast<std::size_t>(node.length()), BigInt());
+    });
+    g_.add_edge(roots_ready_[static_cast<std::size_t>(nd.left)], sort);
+    g_.add_edge(roots_ready_[static_cast<std::size_t>(nd.right)], sort);
+
+    std::vector<TaskId> prein(static_cast<std::size_t>(d) + 1);
+    for (int j = 0; j <= d; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      prein[uj] = g_.add(TaskKind::kPreInterval, idx, [&st, idx, uj] {
+        auto& sc = st.scratch[static_cast<std::size_t>(idx)];
+        sc.infos[uj] = analyze_interleave_point(
+            st.tree.node(idx).poly, sc.points[uj], st.mu);
+      });
+      g_.add_edge(sort, prein[uj]);
+      g_.add_edge(poly_ready, prein[uj]);
+    }
+
+    const TaskId marker = g_.add(TaskKind::kRootsMark, idx, {});
+    for (int i = 0; i < d; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      const TaskId iv = g_.add(TaskKind::kInterval, idx, [&st, idx, i, ui] {
+        TreeNode& node = st.tree.node(idx);
+        auto& sc = st.scratch[static_cast<std::size_t>(idx)];
+        node.roots[ui] = solve_one_interval(
+            node.poly, i, sc.points[ui], sc.points[ui + 1], sc.infos[ui],
+            sc.infos[ui + 1], st.mu, st.solver, &sc.stats[ui]);
+      });
+      g_.add_edge(prein[ui], iv);
+      g_.add_edge(prein[ui + 1], iv);
+      g_.add_edge(iv, marker);
+    }
+    roots_ready_[static_cast<std::size_t>(idx)] = marker;
+  }
+};
+
+}  // namespace
+
+ParallelRunResult find_real_roots_parallel(const Poly& p,
+                                           const RootFinderConfig& config,
+                                           const ParallelConfig& parallel) {
+  check_arg(p.degree() >= 1, "find_real_roots_parallel: degree >= 1");
+  ParallelRunResult out;
+
+  const Poly work = p.primitive_part();
+  if (work.degree() == 1) {
+    out.report = find_real_roots(p, config);
+    out.used_sequential_fallback = true;
+    return out;
+  }
+
+  RunState state(work);
+  state.mu = config.mu_bits;
+  state.solver = config.solver;
+  const std::size_t bound = root_bound_pow2(work);
+  state.bound_scaled = BigInt::pow2(bound + config.mu_bits);
+
+  TaskGraph graph;
+  GraphBuilder builder(state, graph, parallel);
+  builder.build();
+  graph.validate();
+
+  TaskPool pool(parallel.num_threads, parallel.pool_policy);
+  try {
+    out.pool = pool.run(graph);
+  } catch (const NonNormalSequence&) {
+    // Repeated roots or a non-normal sequence: the sequential driver owns
+    // the squarefree/fallback logic.
+    out.report = find_real_roots(p, config);
+    out.used_sequential_fallback = true;
+    return out;
+  }
+
+  RootReport& report = out.report;
+  report.mu = config.mu_bits;
+  report.degree = p.degree();
+  report.distinct_roots = work.degree();
+  report.bound_pow2 = bound;
+  report.roots = state.tree.node(state.tree.root_index()).roots;
+  report.multiplicities.assign(report.roots.size(), 1);
+  for (const auto& sc : state.scratch) {
+    for (const auto& s : sc.stats) report.stats += s;
+  }
+  out.trace = TaskTrace::from_graph(graph);
+  return out;
+}
+
+}  // namespace pr

@@ -1,0 +1,60 @@
+// The task-parallel driver (Section 3 of the paper).
+//
+// Builds one task graph covering both stages of the algorithm --
+//   stage 1: the remainder/quotient sequence, parallelized across the
+//            coefficient computations of Eq. (18) (Section 3.1), with a
+//            configurable grain;
+//   stage 2: the tree computations (Section 3.2): COMPUTEPOLY split into
+//            two matrix products of four entry-tasks each, SORT,
+//            PREINTERVAL (one task per interleaving point) and INTERVAL
+//            (one task per root), with the dependency structure of
+//            Fig. 3.2 --
+// and executes it on a dynamic central-queue TaskPool with any number of
+// worker threads.  The execution also records a TaskTrace with
+// deterministic per-task costs, which the discrete-event simulator
+// (src/sim/) replays under arbitrary simulated processor counts.
+//
+// Results are bit-identical to the sequential driver for every thread
+// count: each task is a pure function of its dependencies' outputs.
+#pragma once
+
+#include "core/root_finder.hpp"
+#include "sched/task_pool.hpp"
+#include "sched/trace.hpp"
+
+namespace pr {
+
+/// Grain of the stage-1 (remainder sequence) parallelization.
+enum class RemainderGrain {
+  kPerIteration,    ///< one task computes Q_i and all of F_{i+1}
+  kPerCoefficient,  ///< one task per coefficient of F_{i+1} (default)
+  kPerOperation,    ///< one task per multiplication of Eq. 18 (the paper's
+                    ///< finest grain: "each of these 5(n-i) operations")
+};
+
+struct ParallelConfig {
+  int num_threads = 1;
+  RemainderGrain grain = RemainderGrain::kPerCoefficient;
+  /// Queueing policy: the paper's central queue or per-worker stealing.
+  PoolPolicy pool_policy = PoolPolicy::kCentralQueue;
+  /// Run stage 1 as a single sequential task (the paper's run-time option,
+  /// Section 3: "the implementation allows this stage to be executed
+  /// sequentially, if so desired").
+  bool sequential_remainder = false;
+};
+
+struct ParallelRunResult {
+  RootReport report;
+  TaskTrace trace;          ///< replayable DAG with per-task costs
+  TaskPoolStats pool;
+  bool used_sequential_fallback = false;  ///< repeated roots / non-normal
+};
+
+/// Parallel equivalent of find_real_roots().  Inputs with repeated roots
+/// or a non-normal remainder sequence are delegated to the sequential
+/// driver (the trace is then empty).
+ParallelRunResult find_real_roots_parallel(const Poly& p,
+                                           const RootFinderConfig& config,
+                                           const ParallelConfig& parallel);
+
+}  // namespace pr

@@ -1,0 +1,44 @@
+#include "core/refine.hpp"
+
+#include "core/scaled_point.hpp"
+#include "poly/sturm.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+BigInt refine_root(const Poly& p, const BigInt& k, std::size_t mu_from,
+                   std::size_t mu_to, const IntervalSolverConfig& config,
+                   IntervalStats* stats) {
+  check_arg(mu_to >= mu_from, "refine_root: mu_to must be >= mu_from");
+  check_arg(p.degree() >= 1, "refine_root: non-constant polynomial required");
+  const std::size_t d = mu_to - mu_from;
+  const BigInt lo = (k - BigInt(1)) << d;
+  const BigInt hi = k << d;
+  if (d == 0) return k;
+
+  // Exact hit at the cell's right end?
+  const int s_hi = p.sign_at_scaled(hi, mu_to);
+  if (s_hi == 0) return hi;
+  // The left end is excluded from the cell; a zero there belongs to a
+  // neighbouring root, so take the one-sided sign.
+  const int s_lo = sign_right_limit(p, lo, mu_to);
+  check_arg(s_lo * s_hi == -1,
+            "refine_root: cell does not isolate a single root");
+  return solve_isolated_interval(p, lo, hi, s_lo, s_hi, mu_to, config,
+                                 stats);
+}
+
+std::vector<BigInt> refine_roots(const Poly& p,
+                                 const std::vector<BigInt>& roots,
+                                 std::size_t mu_from, std::size_t mu_to,
+                                 const IntervalSolverConfig& config,
+                                 IntervalStats* stats) {
+  std::vector<BigInt> out;
+  out.reserve(roots.size());
+  for (const auto& k : roots) {
+    out.push_back(refine_root(p, k, mu_from, mu_to, config, stats));
+  }
+  return out;
+}
+
+}  // namespace pr

@@ -1,0 +1,29 @@
+// Incremental root refinement: sharpening an existing mu-approximation to
+// a higher precision without re-running the whole tree algorithm.
+#pragma once
+
+#include "core/interval_solver.hpp"
+#include "poly/poly.hpp"
+
+namespace pr {
+
+/// Given k = ceil(2^mu_from x) for a root x of `p` whose half-open cell
+/// ((k-1)/2^mu_from, k/2^mu_from] contains no other root of p, returns
+/// ceil(2^mu_to x) for mu_to >= mu_from.
+///
+/// Preconditions (checked where cheap): mu_to >= mu_from; the cell
+/// contains exactly one root.  A cell with zero or two roots surfaces as
+/// an InvalidArgument (no sign change) rather than a wrong answer.
+BigInt refine_root(const Poly& p, const BigInt& k, std::size_t mu_from,
+                   std::size_t mu_to,
+                   const IntervalSolverConfig& config = {},
+                   IntervalStats* stats = nullptr);
+
+/// Refines every root of a RootReport-style result in place.
+std::vector<BigInt> refine_roots(const Poly& p,
+                                 const std::vector<BigInt>& roots,
+                                 std::size_t mu_from, std::size_t mu_to,
+                                 const IntervalSolverConfig& config = {},
+                                 IntervalStats* stats = nullptr);
+
+}  // namespace pr

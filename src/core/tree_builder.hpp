@@ -1,0 +1,37 @@
+// Bottom-up computation of the tree polynomials (Sections 2.1 and 3.2) and
+// of the per-node root approximations.
+//
+// These are the single units of work the parallel driver schedules as
+// tasks; the sequential driver simply runs them in postorder.
+#pragma once
+
+#include "core/interval_solver.hpp"
+#include "core/tree.hpp"
+#include "poly/remainder_sequence.hpp"
+
+namespace pr {
+
+/// Computes node.t (where applicable) and node.poly for one node, assuming
+/// its children are done.  The COMPUTEPOLY step of Section 3.2.
+void compute_node_poly(Tree& tree, int idx, const RemainderSequence& rs);
+
+/// Merges the children's sorted root vectors into the interleaving-point
+/// sequence for `idx` (the SORT task).  Children must be done.
+std::vector<BigInt> merge_child_roots(const Tree& tree, int idx);
+
+/// Computes node.roots for one node whose polynomial and children's roots
+/// are done (PREINTERVAL + INTERVAL steps).  `bound_scaled` = 2^(R+mu).
+void compute_node_roots(Tree& tree, int idx, std::size_t mu,
+                        const BigInt& bound_scaled,
+                        const IntervalSolverConfig& config,
+                        IntervalStats* stats);
+
+/// Sequential driver: computes every polynomial and every root vector in
+/// postorder; afterwards tree.node(tree.root_index()).roots holds the
+/// mu-approximations of the roots of F_0.
+void run_tree_sequential(Tree& tree, const RemainderSequence& rs,
+                         std::size_t mu, const BigInt& bound_scaled,
+                         const IntervalSolverConfig& config,
+                         IntervalStats* stats);
+
+}  // namespace pr

@@ -1,0 +1,46 @@
+#include "eigen/symmetric.hpp"
+
+#include "core/scaled_point.hpp"
+#include "linalg/berkowitz.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+double Spectrum::eigenvalue_as_double(std::size_t i) const {
+  return scaled_to_double(eigenvalues.at(i), mu);
+}
+
+namespace {
+
+Spectrum finish(Poly charpoly, const RootFinderConfig& config,
+                std::size_t n) {
+  Spectrum s;
+  s.characteristic = std::move(charpoly);
+  s.report = find_real_roots(s.characteristic, config);
+  s.mu = s.report.mu;
+  s.eigenvalues = s.report.roots;
+  s.multiplicities = s.report.multiplicities;
+  unsigned long long total = 0;
+  for (unsigned m : s.multiplicities) total += m;
+  check_internal(total == n,
+                 "symmetric_eigenvalues: multiplicities do not sum to n "
+                 "(input not symmetric / not all-real?)");
+  return s;
+}
+
+}  // namespace
+
+Spectrum symmetric_eigenvalues(const IntMatrix& a,
+                               const RootFinderConfig& config) {
+  check_arg(a.size() >= 1, "symmetric_eigenvalues: empty matrix");
+  check_arg(a.is_symmetric(), "symmetric_eigenvalues: matrix not symmetric");
+  return finish(charpoly_berkowitz(a), config, a.size());
+}
+
+Spectrum tridiagonal_eigenvalues(const std::vector<BigInt>& diag,
+                                 const std::vector<BigInt>& offdiag,
+                                 const RootFinderConfig& config) {
+  return finish(charpoly_tridiagonal(diag, offdiag), config, diag.size());
+}
+
+}  // namespace pr

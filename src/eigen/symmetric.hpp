@@ -1,0 +1,44 @@
+// Symmetric integer-matrix eigenvalues, end to end.
+//
+// The paper's experimental workload -- eigenvalues of symmetric integer
+// matrices via characteristic polynomials -- packaged as a first-class
+// API: characteristic polynomial (dense Berkowitz, or the O(n^2)
+// three-term recurrence for tridiagonal matrices), then the interleaving
+// tree root finder, with multiplicities folded back into the spectrum.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/root_finder.hpp"
+#include "linalg/intmatrix.hpp"
+#include "poly/poly.hpp"
+
+namespace pr {
+
+struct Spectrum {
+  /// Distinct eigenvalues, ascending, as mu-scaled integers
+  /// (ceil(2^mu lambda)).
+  std::vector<BigInt> eigenvalues;
+  /// Algebraic multiplicities, aligned with `eigenvalues`; sums to n.
+  std::vector<unsigned> multiplicities;
+  std::size_t mu = 0;
+  Poly characteristic;  ///< det(xI - A)
+  RootReport report;    ///< full root-finder output (stats etc.)
+
+  std::size_t distinct() const { return eigenvalues.size(); }
+  double eigenvalue_as_double(std::size_t i) const;
+};
+
+/// Eigenvalues of a symmetric matrix to precision mu (all real by
+/// symmetry; verified).  Throws InvalidArgument if `a` is not symmetric.
+Spectrum symmetric_eigenvalues(const IntMatrix& a,
+                               const RootFinderConfig& config = {});
+
+/// Eigenvalues of the symmetric tridiagonal matrix with the given
+/// diagonal/off-diagonal, via the O(n^2) characteristic recurrence.
+Spectrum tridiagonal_eigenvalues(const std::vector<BigInt>& diag,
+                                 const std::vector<BigInt>& offdiag,
+                                 const RootFinderConfig& config = {});
+
+}  // namespace pr

@@ -1,0 +1,115 @@
+#include "gen/classic_polys.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace pr {
+
+Poly poly_from_integer_roots(const std::vector<long long>& roots) {
+  Poly p{1};
+  for (long long r : roots) p *= Poly{-r, 1};
+  return p;
+}
+
+Poly wilkinson(int n) {
+  check_arg(n >= 1, "wilkinson: n >= 1");
+  std::vector<long long> roots(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) roots[static_cast<std::size_t>(i)] = i + 1;
+  return poly_from_integer_roots(roots);
+}
+
+namespace {
+
+/// Three-term recurrence p_{k+1} = (a x) p_k - b_k p_{k-1}.
+template <typename BFn>
+Poly three_term(int n, const Poly& p0, const Poly& p1, long long a, BFn b) {
+  if (n == 0) return p0;
+  if (n == 1) return p1;
+  Poly prev = p0;
+  Poly cur = p1;
+  for (int k = 1; k < n; ++k) {
+    Poly next = Poly{0, a} * cur - Poly::constant(BigInt(b(k))) * prev;
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace
+
+Poly chebyshev_t(int n) {
+  check_arg(n >= 0, "chebyshev_t: n >= 0");
+  return three_term(n, Poly{1}, Poly{0, 1}, 2, [](int) { return 1LL; });
+}
+
+Poly chebyshev_u(int n) {
+  check_arg(n >= 0, "chebyshev_u: n >= 0");
+  return three_term(n, Poly{1}, Poly{0, 2}, 2, [](int) { return 1LL; });
+}
+
+Poly legendre_scaled(int n) {
+  check_arg(n >= 0, "legendre_scaled: n >= 0");
+  // R_{k+1} = (2k+1) x R_k - k^2 R_{k-1}; the leading x-coefficient varies
+  // with k, so unroll the recurrence explicitly.
+  if (n == 0) return Poly{1};
+  Poly prev{1};
+  Poly cur{0, 1};
+  for (int k = 1; k < n; ++k) {
+    Poly next = Poly{0, 2 * static_cast<long long>(k) + 1} * cur -
+                Poly::constant(BigInt(static_cast<long long>(k) *
+                                      static_cast<long long>(k))) *
+                    prev;
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Poly hermite(int n) {
+  check_arg(n >= 0, "hermite: n >= 0");
+  // H_{k+1} = 2x H_k - 2k H_{k-1}.
+  if (n == 0) return Poly{1};
+  Poly prev{1};
+  Poly cur{0, 2};
+  for (int k = 1; k < n; ++k) {
+    Poly next = Poly{0, 2} * cur -
+                Poly::constant(BigInt(2LL * k)) * prev;
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Poly laguerre_scaled(int n) {
+  check_arg(n >= 0, "laguerre_scaled: n >= 0");
+  // R_{k+1} = (2k+1-x) R_k - k^2 R_{k-1}; R_0 = 1, R_1 = 1 - x.
+  if (n == 0) return Poly{1};
+  Poly prev{1};
+  Poly cur{1, -1};
+  for (int k = 1; k < n; ++k) {
+    Poly next = Poly{2 * static_cast<long long>(k) + 1, -1} * cur -
+                Poly::constant(BigInt(static_cast<long long>(k) *
+                                      static_cast<long long>(k))) *
+                    prev;
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+Poly clustered_rational_roots(int count, long long k, long long span,
+                              Prng& rng) {
+  check_arg(count >= 1 && k >= 1 && span >= 1,
+            "clustered_rational_roots: bad parameters");
+  std::set<long long> as;
+  while (static_cast<int>(as.size()) < count) {
+    as.insert(rng.range(-k * span, k * span));
+  }
+  Poly p{1};
+  for (long long a : as) p *= Poly{-a, k};
+  return p;
+}
+
+}  // namespace pr

@@ -1,0 +1,44 @@
+// Classic all-real-roots polynomial families, used as additional
+// workloads and stress tests beyond the paper's random matrices.
+#pragma once
+
+#include <vector>
+
+#include "poly/poly.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+
+/// prod_i (x - roots[i]).
+Poly poly_from_integer_roots(const std::vector<long long>& roots);
+
+/// Wilkinson's polynomial (x-1)(x-2)...(x-n): integer roots, notoriously
+/// ill-conditioned coefficients.
+Poly wilkinson(int n);
+
+/// Chebyshev polynomial of the first kind T_n: n simple roots in (-1, 1)
+/// clustering near the endpoints.
+Poly chebyshev_t(int n);
+
+/// Chebyshev polynomial of the second kind U_n.
+Poly chebyshev_u(int n);
+
+/// Integer-scaled Legendre polynomial R_n = n! * P_n (same roots as P_n):
+/// R_{n+1} = (2n+1) x R_n - n^2 R_{n-1}.  Gauss-Legendre nodes.
+Poly legendre_scaled(int n);
+
+/// Hermite polynomial H_n (physicists'): n simple real roots.
+Poly hermite(int n);
+
+/// Integer-scaled Laguerre polynomial R_n = n! * L_n (same roots as L_n):
+/// R_{k+1} = (2k+1-x) R_k - k^2 R_{k-1}.  n simple roots, all positive --
+/// Gauss-Laguerre nodes and a one-sided-spectrum stress test.
+Poly laguerre_scaled(int n);
+
+/// prod_i (K x - a_i) with `count` distinct random integers a_i drawn from
+/// [-K*span, K*span]: rational roots a_i / K that can be arbitrarily close
+/// (down to 1/K apart).  Stress test for the interval stage.
+Poly clustered_rational_roots(int count, long long k, long long span,
+                              Prng& rng);
+
+}  // namespace pr

@@ -1,0 +1,42 @@
+#include "gen/matrix_polys.hpp"
+
+namespace pr {
+
+IntMatrix random_symmetric_matrix(std::size_t n, long long lo, long long hi,
+                                  Prng& rng) {
+  IntMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const BigInt v(rng.range(lo, hi));
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  return a;
+}
+
+IntMatrix random_01_symmetric_matrix(std::size_t n, Prng& rng) {
+  return random_symmetric_matrix(n, 0, 1, rng);
+}
+
+GeneratedInput paper_input(std::size_t n, Prng& rng) {
+  GeneratedInput out{random_01_symmetric_matrix(n, rng), Poly{}, 0};
+  out.poly = charpoly_berkowitz(out.matrix);
+  out.m_bits = out.poly.max_coeff_bits();
+  return out;
+}
+
+Poly random_jacobi_poly(std::size_t n, long long span, Prng& rng) {
+  std::vector<BigInt> diag, off;
+  diag.reserve(n);
+  off.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag.emplace_back(rng.range(-span, span));
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    off.emplace_back(rng.range(1, span));
+  }
+  return charpoly_tridiagonal(diag, off);
+}
+
+}  // namespace pr

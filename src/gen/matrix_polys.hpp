@@ -1,0 +1,37 @@
+// The paper's experimental workload (Section 5): characteristic
+// polynomials of randomly generated symmetric integer matrices.  Symmetric
+// real matrices have only real eigenvalues, so these polynomials have all
+// roots real by construction.
+#pragma once
+
+#include "linalg/berkowitz.hpp"
+#include "linalg/intmatrix.hpp"
+#include "poly/poly.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+
+/// Random symmetric matrix with entries uniform in [lo, hi].
+IntMatrix random_symmetric_matrix(std::size_t n, long long lo, long long hi,
+                                  Prng& rng);
+
+/// Random symmetric 0/1 matrix -- exactly the paper's input distribution.
+IntMatrix random_01_symmetric_matrix(std::size_t n, Prng& rng);
+
+struct GeneratedInput {
+  IntMatrix matrix;
+  Poly poly;           ///< det(xI - matrix), degree n, all roots real
+  std::size_t m_bits;  ///< coefficient size ||p|| in bits (paper's m(n))
+};
+
+/// One paper-style input: char poly of a random 0/1 symmetric matrix.
+GeneratedInput paper_input(std::size_t n, Prng& rng);
+
+/// Characteristic polynomial of a random symmetric tridiagonal (Jacobi)
+/// matrix with diagonal entries in [-span, span] and *non-zero*
+/// off-diagonals in [1, span]: guaranteed squarefree with all roots real
+/// and simple, computable in O(n^2) -- the generator for large-degree
+/// stress runs beyond the paper's n = 70.
+Poly random_jacobi_poly(std::size_t n, long long span, Prng& rng);
+
+}  // namespace pr

@@ -1,0 +1,15 @@
+#include "instr/phase.hpp"
+
+namespace pr::instr {
+
+namespace {
+thread_local Phase tl_phase = Phase::kOther;
+}  // namespace
+
+Phase current_phase() { return tl_phase; }
+
+PhaseScope::PhaseScope(Phase p) : prev_(tl_phase) { tl_phase = p; }
+
+PhaseScope::~PhaseScope() { tl_phase = prev_; }
+
+}  // namespace pr::instr

@@ -1,0 +1,25 @@
+// RAII phase scoping for the instrumentation counters.
+#pragma once
+
+#include "instr/counters.hpp"
+
+namespace pr::instr {
+
+/// Returns the phase currently active on this thread (kOther by default).
+Phase current_phase();
+
+/// Sets this thread's active phase and restores the previous one on
+/// destruction.  Scopes nest; the innermost scope wins.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase p);
+  ~PhaseScope();
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase prev_;
+};
+
+}  // namespace pr::instr

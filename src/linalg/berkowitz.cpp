@@ -1,0 +1,109 @@
+#include "linalg/berkowitz.hpp"
+
+#include "instr/phase.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+Poly charpoly_berkowitz(const IntMatrix& a) {
+  instr::PhaseScope phase(instr::Phase::kCharPoly);
+  const std::size_t n = a.size();
+  check_arg(n >= 1, "charpoly_berkowitz: empty matrix");
+
+  // C holds the coefficients of det(xI - A_r) for the leading principal
+  // r x r submatrix A_r, highest degree first.  C starts with r = 1.
+  std::vector<BigInt> C = {BigInt(1), -a.at(0, 0)};
+
+  for (std::size_t r = 2; r <= n; ++r) {
+    // Partition A_r:  B = A_{r-1} (leading (r-1)x(r-1)),
+    //   R = row (a_{r-1,0..r-2}),  S = column (a_{0..r-2,r-1}),
+    //   d = a_{r-1,r-1}.
+    // Toeplitz coefficients: t_0 = 1, t_1 = -d, t_{k+2} = -(R * B^k * S).
+    const std::size_t m = r - 1;
+    std::vector<BigInt> t(r + 1);
+    t[0] = BigInt(1);
+    t[1] = -a.at(m, m);
+    std::vector<BigInt> v(m);  // B^k * S, starting with k = 0
+    for (std::size_t i = 0; i < m; ++i) v[i] = a.at(i, m);
+    for (std::size_t k = 0; k + 2 <= r; ++k) {
+      BigInt dot;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!a.at(m, i).is_zero() && !v[i].is_zero()) {
+          dot += a.at(m, i) * v[i];
+        }
+      }
+      t[k + 2] = -dot;
+      if (k + 3 <= r) {
+        // v <- B * v
+        std::vector<BigInt> nv(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          BigInt acc;
+          for (std::size_t j = 0; j < m; ++j) {
+            if (!a.at(i, j).is_zero() && !v[j].is_zero()) {
+              acc += a.at(i, j) * v[j];
+            }
+          }
+          nv[i] = std::move(acc);
+        }
+        v = std::move(nv);
+      }
+    }
+
+    // C_r = T * C_{r-1}, with T the (r+1) x r lower-triangular Toeplitz
+    // matrix whose first column is t.
+    std::vector<BigInt> next(r + 1);
+    for (std::size_t i = 0; i <= r; ++i) {
+      BigInt acc;
+      for (std::size_t j = 0; j < r && j <= i; ++j) {
+        if (!t[i - j].is_zero() && !C[j].is_zero()) acc += t[i - j] * C[j];
+      }
+      next[i] = std::move(acc);
+    }
+    C = std::move(next);
+  }
+
+  // C is highest-degree-first; Poly stores low-to-high.
+  std::vector<BigInt> coeffs(C.rbegin(), C.rend());
+  return Poly(std::move(coeffs));
+}
+
+Poly charpoly_faddeev(const IntMatrix& a) {
+  instr::PhaseScope phase(instr::Phase::kCharPoly);
+  const std::size_t n = a.size();
+  check_arg(n >= 1, "charpoly_faddeev: empty matrix");
+
+  // M_1 = A, c_1 = -tr(A);  M_{k+1} = A*(M_k + c_k I),
+  // c_{k+1} = -tr(M_{k+1}) / (k+1).  char = x^n + c_1 x^{n-1} + ... + c_n.
+  std::vector<BigInt> c(n + 1);
+  c[0] = BigInt(1);
+  IntMatrix M = a;
+  c[1] = -M.trace();
+  for (std::size_t k = 2; k <= n; ++k) {
+    IntMatrix Mk = M;
+    Mk.add_diagonal(c[k - 1]);
+    M = a * Mk;
+    c[k] = BigInt::divexact(-M.trace(), BigInt(static_cast<long long>(k)));
+  }
+  std::vector<BigInt> coeffs(c.rbegin(), c.rend());
+  return Poly(std::move(coeffs));
+}
+
+Poly charpoly_tridiagonal(const std::vector<BigInt>& diag,
+                          const std::vector<BigInt>& offdiag) {
+  instr::PhaseScope phase(instr::Phase::kCharPoly);
+  const std::size_t n = diag.size();
+  check_arg(n >= 1, "charpoly_tridiagonal: empty diagonal");
+  check_arg(offdiag.size() + 1 == n,
+            "charpoly_tridiagonal: need n-1 off-diagonal entries");
+  Poly prev{1};                                   // p_0
+  Poly cur = Poly{0, 1} - Poly::constant(diag[0]);  // p_1 = x - a_1
+  for (std::size_t k = 1; k < n; ++k) {
+    Poly next = (Poly{0, 1} - Poly::constant(diag[k])) * cur -
+                Poly::constant(offdiag[k - 1] * offdiag[k - 1]) * prev;
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+}  // namespace pr

@@ -1,0 +1,32 @@
+// Characteristic polynomials of integer matrices.
+//
+// The paper's experimental inputs are characteristic polynomials of random
+// symmetric 0/1 matrices (Section 5).  Symmetric integer matrices have all
+// eigenvalues real, so their characteristic polynomials are exactly the
+// all-real-roots inputs the algorithm requires.
+#pragma once
+
+#include "linalg/intmatrix.hpp"
+#include "poly/poly.hpp"
+
+namespace pr {
+
+/// Characteristic polynomial det(xI - A), monic of degree n, via the
+/// division-free Samuelson-Berkowitz algorithm (O(n^4) integer products).
+Poly charpoly_berkowitz(const IntMatrix& a);
+
+/// Same polynomial via Faddeev-LeVerrier (uses exact divisions by
+/// 1..n).  Slower constant factor; kept as an independent cross-check.
+Poly charpoly_faddeev(const IntMatrix& a);
+
+/// Characteristic polynomial of the symmetric tridiagonal (Jacobi) matrix
+/// with diagonal `diag` and off-diagonal `offdiag` (|offdiag| entries are
+/// squared, so their signs are irrelevant), via the classic three-term
+/// recurrence p_k = (x - a_k) p_{k-1} - b_{k-1}^2 p_{k-2} -- O(n^2)
+/// integer operations, enabling much larger degrees than the dense
+/// algorithms.  When every off-diagonal entry is non-zero the eigenvalues
+/// are real and *simple* (a guaranteed squarefree all-real-roots input).
+Poly charpoly_tridiagonal(const std::vector<BigInt>& diag,
+                          const std::vector<BigInt>& offdiag);
+
+}  // namespace pr

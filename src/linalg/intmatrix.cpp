@@ -1,0 +1,62 @@
+#include "linalg/intmatrix.hpp"
+
+#include "support/error.hpp"
+
+namespace pr {
+
+std::vector<BigInt> IntMatrix::apply(const std::vector<BigInt>& v) const {
+  check_arg(v.size() == n_, "IntMatrix::apply: dimension mismatch");
+  std::vector<BigInt> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    BigInt acc;
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!at(i, j).is_zero() && !v[j].is_zero()) acc += at(i, j) * v[j];
+    }
+    out[i] = std::move(acc);
+  }
+  return out;
+}
+
+BigInt IntMatrix::trace() const {
+  BigInt t;
+  for (std::size_t i = 0; i < n_; ++i) t += at(i, i);
+  return t;
+}
+
+IntMatrix operator*(const IntMatrix& a, const IntMatrix& b) {
+  check_arg(a.n_ == b.n_, "IntMatrix::operator*: dimension mismatch");
+  IntMatrix r(a.n_);
+  for (std::size_t i = 0; i < a.n_; ++i) {
+    for (std::size_t k = 0; k < a.n_; ++k) {
+      const BigInt& aik = a.at(i, k);
+      if (aik.is_zero()) continue;
+      for (std::size_t j = 0; j < a.n_; ++j) {
+        if (b.at(k, j).is_zero()) continue;
+        r.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return r;
+}
+
+IntMatrix operator+(const IntMatrix& a, const IntMatrix& b) {
+  check_arg(a.n_ == b.n_, "IntMatrix::operator+: dimension mismatch");
+  IntMatrix r(a.n_);
+  for (std::size_t i = 0; i < a.n_ * a.n_; ++i) r.a_[i] = a.a_[i] + b.a_[i];
+  return r;
+}
+
+void IntMatrix::add_diagonal(const BigInt& s) {
+  for (std::size_t i = 0; i < n_; ++i) at(i, i) += s;
+}
+
+bool IntMatrix::is_symmetric() const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (!(at(i, j) == at(j, i))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace pr

@@ -1,0 +1,46 @@
+// Dense square matrices over BigInt.
+//
+// Only what the workload generators and characteristic-polynomial routines
+// need; this is not a general linear-algebra library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace pr {
+
+class IntMatrix {
+ public:
+  /// n x n zero matrix.
+  explicit IntMatrix(std::size_t n) : n_(n), a_(n * n) {}
+
+  std::size_t size() const { return n_; }
+
+  BigInt& at(std::size_t i, std::size_t j) { return a_[i * n_ + j]; }
+  const BigInt& at(std::size_t i, std::size_t j) const {
+    return a_[i * n_ + j];
+  }
+
+  /// Matrix-vector product A * v.
+  std::vector<BigInt> apply(const std::vector<BigInt>& v) const;
+
+  /// Trace.
+  BigInt trace() const;
+
+  /// A * B (used by the Faddeev-LeVerrier cross-check).
+  friend IntMatrix operator*(const IntMatrix& a, const IntMatrix& b);
+  friend IntMatrix operator+(const IntMatrix& a, const IntMatrix& b);
+
+  /// Adds s to every diagonal entry.
+  void add_diagonal(const BigInt& s);
+
+  bool is_symmetric() const;
+
+ private:
+  std::size_t n_;
+  std::vector<BigInt> a_;
+};
+
+}  // namespace pr

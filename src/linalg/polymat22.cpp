@@ -1,0 +1,68 @@
+#include "linalg/polymat22.hpp"
+
+#include "support/error.hpp"
+
+namespace pr {
+
+PolyMat22 operator*(const PolyMat22& a, const PolyMat22& b) {
+  PolyMat22 r;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      r.e[i][j] = PolyMat22::mul_entry(a, b, i, j);
+    }
+  }
+  return r;
+}
+
+bool operator==(const PolyMat22& a, const PolyMat22& b) {
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (!(a.e[i][j] == b.e[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+PolyMat22 PolyMat22::divexact_scalar(const BigInt& s) const {
+  PolyMat22 r;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      r.e[i][j] = e[i][j].divexact_scalar(s);
+    }
+  }
+  return r;
+}
+
+Poly PolyMat22::mul_entry(const PolyMat22& a, const PolyMat22& b, int r,
+                          int c) {
+  return a.e[r][0] * b.e[0][c] + a.e[r][1] * b.e[1][c];
+}
+
+PolyMat22 u_matrix(const RemainderSequence& rs, int k) {
+  check_arg(k >= 1 && k <= rs.n - 1, "u_matrix: k out of range");
+  const BigInt& ck = rs.c[static_cast<std::size_t>(k)];
+  const BigInt& cp = rs.c[static_cast<std::size_t>(k - 1)];
+  PolyMat22 u;
+  u.e[0][0] = Poly{};
+  u.e[0][1] = Poly::constant(cp * cp);
+  u.e[1][0] = Poly::constant(-(ck * ck));
+  u.e[1][1] = rs.Q[static_cast<std::size_t>(k)];
+  return u;
+}
+
+PolyMat22 t_leaf(const RemainderSequence& rs, int k) {
+  return u_matrix(rs, k);
+}
+
+PolyMat22 t_combine(const PolyMat22& t_right, const PolyMat22& t_left,
+                    const RemainderSequence& rs, int k) {
+  const BigInt& ck = rs.c[static_cast<std::size_t>(k)];
+  const BigInt& cp = rs.c[static_cast<std::size_t>(k - 1)];
+  // Grouped as T_right * (U_k * T_left): the same grouping the parallel
+  // driver's two four-task matrix products use (Section 3.2), so counts
+  // and intermediate sizes agree between drivers.
+  const PolyMat22 prod = t_right * (u_matrix(rs, k) * t_left);
+  return prod.divexact_scalar(ck * ck * cp * cp);
+}
+
+}  // namespace pr

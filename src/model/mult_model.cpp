@@ -1,0 +1,258 @@
+#include "model/mult_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/tree.hpp"
+
+namespace pr::model {
+
+std::uint64_t remainder_mults(int n) {
+  // F_1 = F_0': one BigInt multiplication per degree (n of them), then for
+  // each iteration i: 3 for Q_i (Eqs. 15-17), 2 for c_i^2 and c_{i-1}^2,
+  // and per coefficient j of Eq. 18: 3 multiplications (2 when j == 0).
+  std::uint64_t total = static_cast<std::uint64_t>(n);
+  for (int i = 1; i <= n - 1; ++i) {
+    total += 3ull * static_cast<std::uint64_t>(n - i) + 4ull;
+  }
+  return total;
+}
+
+namespace {
+
+/// Structural descriptor of one polynomial-matrix entry: exactly-zero or
+/// a dense polynomial of the given degree.
+struct EDesc {
+  bool zero = true;
+  int deg = 0;
+};
+struct MDesc {
+  EDesc e[2][2];
+};
+
+struct WalkCounts {
+  std::uint64_t mults = 0;
+  std::uint64_t divs = 0;
+};
+
+/// Cost and shape of (A*B) entry (r,c) under dense arithmetic.
+EDesc mul_entry_desc(const MDesc& a, const MDesc& b, int r, int c,
+                     WalkCounts& wc) {
+  EDesc out;
+  for (int t = 0; t < 2; ++t) {
+    const EDesc& x = a.e[r][t];
+    const EDesc& y = b.e[t][c];
+    if (x.zero || y.zero) continue;
+    wc.mults += static_cast<std::uint64_t>(x.deg + 1) *
+                static_cast<std::uint64_t>(y.deg + 1);
+    const int deg = x.deg + y.deg;
+    if (out.zero) {
+      out.zero = false;
+      out.deg = deg;
+    } else {
+      out.deg = std::max(out.deg, deg);
+    }
+  }
+  return out;
+}
+
+MDesc mul_desc(const MDesc& a, const MDesc& b, WalkCounts& wc) {
+  MDesc out;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) out.e[r][c] = mul_entry_desc(a, b, r, c, wc);
+  }
+  return out;
+}
+
+MDesc u_desc() {
+  // U_k = [[0, c^2], [-c^2, Q_k]].
+  MDesc u;
+  u.e[0][0] = {true, 0};
+  u.e[0][1] = {false, 0};
+  u.e[1][0] = {false, 0};
+  u.e[1][1] = {false, 1};
+  return u;
+}
+
+WalkCounts tree_walk(int n) {
+  Tree tree(n);
+  std::vector<MDesc> desc(tree.nodes().size());
+  WalkCounts wc;
+  for (int idx : tree.postorder()) {
+    const TreeNode& nd = tree.node(idx);
+    auto& d = desc[static_cast<std::size_t>(idx)];
+    if (nd.empty()) {
+      // t_empty: one scalar square (c^2) and a diagonal matrix.
+      wc.mults += 1;
+      d.e[0][0] = {false, 0};
+      d.e[0][1] = {true, 0};
+      d.e[1][0] = {true, 0};
+      d.e[1][1] = {false, 0};
+      continue;
+    }
+    if (nd.spine(n)) continue;  // P_{i,n} = F_{i-1}: a copy, no arithmetic
+    if (nd.leaf()) {
+      wc.mults += 2;  // u_matrix: c_{k-1}^2 and c_k^2
+      d = u_desc();
+      continue;
+    }
+    // t_combine: u_matrix (2 mults) + c_k^2, c_{k-1}^2 and their product
+    // (3 mults) + T_right * (U_k * T_left) + exact divisions per
+    // coefficient of the result.
+    wc.mults += 5;
+    const MDesc w =
+        mul_desc(u_desc(), desc[static_cast<std::size_t>(nd.left)], wc);
+    d = mul_desc(desc[static_cast<std::size_t>(nd.right)], w, wc);
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        if (!d.e[r][c].zero) {
+          wc.divs += static_cast<std::uint64_t>(d.e[r][c].deg + 1);
+        }
+      }
+    }
+  }
+  return wc;
+}
+
+double log2_10d2(int d) {
+  return std::log2(10.0 * static_cast<double>(d) * static_cast<double>(d));
+}
+
+}  // namespace
+
+std::uint64_t tree_mults(int n) { return tree_walk(n).mults; }
+
+std::uint64_t tree_divs(int n) { return tree_walk(n).divs; }
+
+IntervalModel interval_model(double x, int d) {
+  IntervalModel m{};
+  m.sieve_evals_per_interval = 3.5;  // calibrated O(1) expected probes
+  m.bisect_evals_per_interval = log2_10d2(d) + 2.0;
+  const double newton_bits = std::max(2.0, std::log2(std::max(2.0, x)) -
+                                               std::log2(log2_10d2(d)));
+  m.newton_iters_per_interval = newton_bits + 2.0;
+  return m;
+}
+
+namespace {
+
+/// Applies fn(d) to every tree node of length d >= 2.
+template <typename Fn>
+void for_interval_nodes(int n, Fn fn) {
+  Tree tree(n);
+  for (const auto& nd : tree.nodes()) {
+    if (!nd.empty() && nd.length() >= 2) fn(nd);
+  }
+}
+
+}  // namespace
+
+std::uint64_t preinterval_mults(const Params& p) {
+  std::uint64_t total = 0;
+  for_interval_nodes(p.n, [&](const TreeNode& nd) {
+    const std::uint64_t d = static_cast<std::uint64_t>(nd.length());
+    total += 2 * d * (d + 1);  // (d+1) points, 2 evaluations of d mults
+  });
+  return total;
+}
+
+std::uint64_t interval_mults(const Params& p) {
+  std::uint64_t total = preinterval_mults(p);
+  for_interval_nodes(p.n, [&](const TreeNode& nd) {
+    const int d = nd.length();
+    const IntervalModel m = interval_model(p.big_x(), d);
+    const double per_interval =
+        (m.sieve_evals_per_interval + m.bisect_evals_per_interval) * d +
+        m.newton_iters_per_interval * (2.0 * d - 1.0);
+    total += static_cast<std::uint64_t>(per_interval * d);
+  });
+  return total;
+}
+
+std::uint64_t bisect_evals(const Params& p) {
+  double total = 0;
+  for_interval_nodes(p.n, [&](const TreeNode& nd) {
+    const int d = nd.length();
+    total += interval_model(p.big_x(), d).bisect_evals_per_interval * d;
+  });
+  return static_cast<std::uint64_t>(total);
+}
+
+std::uint64_t bisect_mults(const Params& p) {
+  double total = 0;
+  for_interval_nodes(p.n, [&](const TreeNode& nd) {
+    const int d = nd.length();
+    total += interval_model(p.big_x(), d).bisect_evals_per_interval * d * d;
+  });
+  return static_cast<std::uint64_t>(total);
+}
+
+double remainder_bitcost_bound(const Params& p) {
+  const double b = beta(p);
+  double total = 0;
+  for (int i = 1; i <= p.n - 1; ++i) {
+    total += 6.0 * i * i * b * b * (p.n - i);
+  }
+  return total;
+}
+
+double tree_bitcost_bound(const Params& p) {
+  // Eq. (34)-(35): sum over levels l = 1..K-2 of
+  //   sum_{j=0}^{2^l - 2} 8 (16 j^2 + 20 j + 4) alpha (alpha+1)^3 beta^2,
+  // with alpha = 2^{K-l-1} - 1 and K = ceil(log2(n+1)).
+  const double b2 = beta(p) * beta(p);
+  const int k = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(p.n) + 1.0)));
+  double total = 0;
+  for (int l = 1; l <= k - 2; ++l) {
+    const double alpha = std::pow(2.0, k - l - 1) - 1.0;
+    const double a1 = alpha + 1.0;
+    const long long width = (1LL << l) - 1;
+    for (long long j = 0; j < width; ++j) {
+      const double jj = static_cast<double>(j);
+      total += 8.0 * (16.0 * jj * jj + 20.0 * jj + 4.0) * alpha * a1 * a1 *
+               a1 * b2;
+    }
+  }
+  return total;
+}
+
+double eval_bitcost_bound(double m, double x, int d) {
+  return m * x * d + 0.5 * x * x * d * d;
+}
+
+namespace {
+
+/// Size bound for the polynomial at a tree node (Eqs. 29-30).
+double node_size_bound(const Params& p, const TreeNode& nd) {
+  const double b = beta(p);
+  if (nd.j == p.n) return std::max(1, nd.i - 1) * b;     // P_{i,n} = F_{i-1}
+  return (2.0 * nd.i + nd.length() - 2) * b;             // Eq. 29
+}
+
+}  // namespace
+
+double bisect_bitcost_bound(const Params& p) {
+  double total = 0;
+  for_interval_nodes(p.n, [&](const TreeNode& nd) {
+    const int d = nd.length();
+    const double evals = interval_model(p.big_x(), d)
+                             .bisect_evals_per_interval * d;
+    total += evals * eval_bitcost_bound(node_size_bound(p, nd), p.big_x(), d);
+  });
+  return total;
+}
+
+double interval_bitcost_bound(const Params& p) {
+  double total = 0;
+  for_interval_nodes(p.n, [&](const TreeNode& nd) {
+    const int d = nd.length();
+    const IntervalModel m = interval_model(p.big_x(), d);
+    const double evals = m.evals_per_interval() * d +
+                         2.0 * (d + 1);  // intervals + preinterval
+    total += evals * eval_bitcost_bound(node_size_bound(p, nd), p.big_x(), d);
+  });
+  return total;
+}
+
+}  // namespace pr::model

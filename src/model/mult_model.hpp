@@ -1,0 +1,85 @@
+// Predicted operation counts and bit-complexity estimates (Section 4).
+//
+// Two kinds of predictions coexist, mirroring the paper's methodology
+// (Section 5.1):
+//
+//  * *Precise* multiplication-count predictions, derived from the exact
+//    structure of this implementation (the paper: "the analytical
+//    estimates we used were much more precise versions of the asymptotic
+//    expressions").  For the deterministic phases (remainder sequence,
+//    tree polynomials) these match the instrumented counts exactly on
+//    dense inputs; for the input-dependent interval phase they use the
+//    average-case iteration count I_avg (Eq. 41).  These regenerate
+//    Figures 2-6.
+//
+//  * *Bit-complexity* upper bounds assembled from the Collins coefficient
+//    bounds (size_bounds.hpp).  As the paper found, these are weak upper
+//    bounds on the measured bit cost -- reproduced as Figure 7.
+#pragma once
+
+#include <cstdint>
+
+#include "model/size_bounds.hpp"
+
+namespace pr::model {
+
+// --- precise multiplication counts (Figures 2-6) -------------------------
+
+/// Exact number of BigInt multiplications the sequential remainder-
+/// sequence phase performs for a degree-n input with a normal sequence.
+std::uint64_t remainder_mults(int n);
+
+/// Exact number of BigInt multiplications of the sequential tree-
+/// polynomial phase (dense-coefficient assumption).
+std::uint64_t tree_mults(int n);
+
+/// Exact number of BigInt divisions of the tree-polynomial phase.
+std::uint64_t tree_divs(int n);
+
+struct IntervalModel {
+  double sieve_evals_per_interval;    ///< calibrated O(1) sieve cost
+  double bisect_evals_per_interval;   ///< ~ log2(10 d^2) (Sec 2.2)
+  double newton_iters_per_interval;   ///< ~ log2(X / log2(10 d^2)) (Eq. 41)
+  double evals_per_interval() const {
+    return sieve_evals_per_interval + bisect_evals_per_interval +
+           2.0 * newton_iters_per_interval;  // Newton needs p and p'
+  }
+};
+
+/// Average-case model of one interval problem for a degree-d polynomial
+/// with evaluation points of size X bits (the paper's I_avg, Eq. 41,
+/// adapted to this implementation's hybrid).
+IntervalModel interval_model(double x, int d);
+
+/// Predicted multiplications of the whole interval stage (PREINTERVAL +
+/// INTERVAL over every tree node) for a degree-n input.
+std::uint64_t interval_mults(const Params& p);
+
+/// Predicted multiplications of the PREINTERVAL sub-phase alone.
+std::uint64_t preinterval_mults(const Params& p);
+
+/// Predicted polynomial evaluations of the bisection sub-phase alone
+/// (Figure 6) and its multiplications.
+std::uint64_t bisect_evals(const Params& p);
+std::uint64_t bisect_mults(const Params& p);
+
+// --- bit-complexity upper bounds (Figure 7, Table 1) ----------------------
+
+/// Remainder-sequence bit cost bound: sum_i 6 i^2 beta^2 (n-i) (Sec 4.1).
+double remainder_bitcost_bound(const Params& p);
+
+/// Tree-polynomial bit cost bound: the level sums of Eq. (35).
+double tree_bitcost_bound(const Params& p);
+
+/// One scaled polynomial evaluation cost bound: m X d + X^2 d^2 / 2
+/// (Eq. 37), with m the coefficient size of the evaluated polynomial.
+double eval_bitcost_bound(double m, double x, int d);
+
+/// Bit cost bound of the bisection sub-phase over the whole tree (Fig. 7).
+double bisect_bitcost_bound(const Params& p);
+
+/// Bit cost bound of all interval problems (Eq. 40 summed over the tree,
+/// with the average-case iteration counts).
+double interval_bitcost_bound(const Params& p);
+
+}  // namespace pr::model

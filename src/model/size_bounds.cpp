@@ -1,0 +1,30 @@
+#include "model/size_bounds.hpp"
+
+#include <cmath>
+
+namespace pr::model {
+
+double beta(const Params& p) {
+  return 2.0 * static_cast<double>(p.m) +
+         3.0 * std::log2(static_cast<double>(p.n)) + 2.0;
+}
+
+double bound_f(const Params& p, int i) { return i * beta(p); }
+
+double bound_q(const Params& p, int i) { return 2.0 * i * beta(p); }
+
+double bound_a(const Params& p, int i) {
+  return (i - 1) * beta(p) + std::log2(static_cast<double>(p.n));
+}
+
+double bound_b(const Params& p, int i) { return (i - 1) * beta(p); }
+
+double bound_p(const Params& p, int i, int k) {
+  return (2.0 * i + k - 2) * beta(p);
+}
+
+double bound_t(const Params& p, int i, int k) {
+  return (2.0 * i + k - 1) * beta(p);
+}
+
+}  // namespace pr::model

@@ -1,0 +1,41 @@
+// Coefficient-size bounds from Section 4 (Collins-style determinant
+// bounds, Eqs. 21-31).
+//
+// These are the bounds the paper uses to convert multiplication counts
+// into bit-complexity estimates.  As the paper itself observes (Section 5,
+// Figures 6-7), they are *weak upper bounds* on the sizes actually
+// encountered; the bench harnesses print both the bound and the measured
+// values so that conclusion can be reproduced.
+#pragma once
+
+#include <cstddef>
+
+namespace pr::model {
+
+struct Params {
+  int n = 0;             ///< degree of F_0
+  std::size_t m = 0;     ///< coefficient size of F_0 in bits
+  std::size_t mu = 0;    ///< output precision in bits
+  std::size_t r = 0;     ///< root-bound exponent: roots within [-2^R, 2^R]
+
+  /// X = R + mu: the size bound for every scaled evaluation point (Sec 4.3).
+  double big_x() const { return static_cast<double>(r + mu); }
+};
+
+/// beta = 2m + 3 log2 n + 2 (the paper's abbreviation).
+double beta(const Params& p);
+
+/// ||F_i|| <= i * beta (Eq. 25).
+double bound_f(const Params& p, int i);
+/// ||Q_i|| <= 2 i * beta (Eq. 26).
+double bound_q(const Params& p, int i);
+/// ||A_i|| <= (i-1) beta + log n (Eq. 27).
+double bound_a(const Params& p, int i);
+/// ||B_i|| <= (i-1) beta (Eq. 28).
+double bound_b(const Params& p, int i);
+/// ||P_{i,i+k-1}|| <= (2i + k - 2) beta (Eq. 29).
+double bound_p(const Params& p, int i, int k);
+/// ||T_{i,i+k-1}|| <= (2i + k - 1) beta (Eq. 31).
+double bound_t(const Params& p, int i, int k);
+
+}  // namespace pr::model

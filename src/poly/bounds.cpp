@@ -1,0 +1,55 @@
+#include "poly/bounds.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+
+/// Cauchy: |root| <= 1 + max_i |a_i| / |a_d|.
+std::size_t cauchy_bound(const Poly& p) {
+  const BigInt lead = p.leading().abs();
+  BigInt max_ratio;
+  for (int i = 0; i < p.degree(); ++i) {
+    const BigInt& c = p.coeff(static_cast<std::size_t>(i));
+    if (c.is_zero()) continue;
+    BigInt ratio = BigInt::cdiv(c.abs(), lead);
+    if (ratio > max_ratio) max_ratio = ratio;
+  }
+  // 2^R >= 1 + max_ratio  <=  2^(bits(max_ratio) + 1).
+  return max_ratio.bit_length() + 1;
+}
+
+/// Lagrange-Zassenhaus: |root| <= 2 max_k (|a_{d-k}| / |a_d|)^(1/k),
+/// estimated in powers of two: |a_{d-k}/a_d| < 2^(bits(a_{d-k}) -
+/// bits(a_d) + 1), so the k-th root is < 2^ceil((diff)/k).
+std::size_t lagrange_bound(const Poly& p) {
+  const auto lead_bits =
+      static_cast<long long>(p.leading().abs().bit_length());
+  long long best = 0;
+  const int d = p.degree();
+  for (int k = 1; k <= d; ++k) {
+    const BigInt& c = p.coeff(static_cast<std::size_t>(d - k));
+    if (c.is_zero()) continue;
+    const long long diff =
+        static_cast<long long>(c.bit_length()) - lead_bits + 1;
+    if (diff <= 0) continue;
+    const long long root_log = (diff + k - 1) / k;  // ceil
+    best = std::max(best, root_log);
+  }
+  return static_cast<std::size_t>(best) + 1;  // the factor 2
+}
+
+}  // namespace
+
+std::size_t root_bound_pow2(const Poly& p) {
+  check_arg(p.degree() >= 1, "root_bound_pow2: need degree >= 1");
+  // Both are valid bounds; Lagrange is much tighter when low-order
+  // coefficients are huge (e.g. Wilkinson polynomials), Cauchy when a
+  // single coefficient dominates.  Take the smaller.
+  return std::min(cauchy_bound(p), lagrange_bound(p));
+}
+
+}  // namespace pr

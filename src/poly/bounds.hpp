@@ -1,0 +1,18 @@
+// Root magnitude bounds.
+#pragma once
+
+#include <cstddef>
+
+#include "poly/poly.hpp"
+
+namespace pr {
+
+/// Smallest R such that all (real or complex) roots of p satisfy
+/// |root| < 2^R, via the Cauchy bound 1 + max_i |a_i| / |a_d|.
+/// Precondition: p is non-constant.
+///
+/// The paper uses "[−2^m, 2^m]" for m-bit coefficients (Section 2.2, with a
+/// sign typo); the Cauchy bound specializes to that when |a_d| >= 1.
+std::size_t root_bound_pow2(const Poly& p);
+
+}  // namespace pr

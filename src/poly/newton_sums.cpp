@@ -1,0 +1,40 @@
+#include "poly/newton_sums.hpp"
+
+#include "support/error.hpp"
+
+namespace pr {
+
+std::vector<Rational> power_sums(const Poly& p, int kmax) {
+  check_arg(p.degree() >= 1, "power_sums: degree >= 1 required");
+  check_arg(kmax >= 1, "power_sums: kmax >= 1 required");
+  const int n = p.degree();
+  const Rational lc(p.leading());
+  // Normalized coefficients b_j = a_{n-j} / a_n, j = 1..n (b_j = 0 for
+  // j > n).
+  const auto b = [&](int j) -> Rational {
+    if (j > n) return Rational();
+    return Rational(p.coeff(static_cast<std::size_t>(n - j))) / lc;
+  };
+  std::vector<Rational> s(static_cast<std::size_t>(kmax) + 1);
+  for (int k = 1; k <= kmax; ++k) {
+    // s_k + b_1 s_{k-1} + ... + b_{k-1} s_1 + k b_k = 0.
+    Rational acc = Rational(k) * b(k);
+    for (int j = 1; j < k; ++j) {
+      acc += b(j) * s[static_cast<std::size_t>(k - j)];
+    }
+    s[static_cast<std::size_t>(k)] = -acc;
+  }
+  s.erase(s.begin());  // drop the unused s_0 slot
+  return s;
+}
+
+Rational elementary_symmetric_from_coeffs(const Poly& p, int k) {
+  check_arg(p.degree() >= 1, "elementary_symmetric: degree >= 1");
+  check_arg(k >= 0 && k <= p.degree(), "elementary_symmetric: bad k");
+  const int n = p.degree();
+  Rational v(p.coeff(static_cast<std::size_t>(n - k)));
+  v = v / Rational(p.leading());
+  return (k % 2 == 0) ? v : -v;
+}
+
+}  // namespace pr

@@ -1,0 +1,30 @@
+// Newton's identities: exact power sums of the roots from the
+// coefficients alone.
+//
+// For monic-up-to-lc p with roots r_1..r_n (with multiplicity), the power
+// sums s_k = sum_i r_i^k satisfy
+//     lc * s_k = -(k * a_{n-k} + sum_{j=1}^{k-1} a_{n-j} s_{k-j}),
+// which stays rational with denominator lc^k.  This gives a root-finder
+// validation channel that is completely independent of isolation and
+// refinement: the (approximate) k-th power sum of the returned roots must
+// match the exact value derived from the coefficients to within an error
+// bound driven by 2^-mu.
+#pragma once
+
+#include <vector>
+
+#include "poly/poly.hpp"
+#include "rational/rational.hpp"
+
+namespace pr {
+
+/// Exact power sums s_1..s_kmax of the roots of p (counted with
+/// multiplicity, over C -- so for all-real-roots p these are the real
+/// spectral sums).  Precondition: deg p >= 1.
+std::vector<Rational> power_sums(const Poly& p, int kmax);
+
+/// Exact elementary symmetric checks: e_k of the roots equals
+/// (-1)^k a_{n-k} / a_n.
+Rational elementary_symmetric_from_coeffs(const Poly& p, int k);
+
+}  // namespace pr

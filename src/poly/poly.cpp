@@ -1,0 +1,246 @@
+#include "poly/poly.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+const BigInt kZero{};
+}  // namespace
+
+Poly::Poly(std::initializer_list<long long> coeffs) {
+  c_.reserve(coeffs.size());
+  for (long long v : coeffs) c_.emplace_back(v);
+  trim();
+}
+
+Poly::Poly(std::vector<BigInt> coeffs) : c_(std::move(coeffs)) { trim(); }
+
+Poly Poly::constant(BigInt c) {
+  Poly p;
+  if (!c.is_zero()) p.c_.push_back(std::move(c));
+  return p;
+}
+
+Poly Poly::monomial(BigInt c, std::size_t k) {
+  Poly p;
+  if (!c.is_zero()) {
+    p.c_.assign(k + 1, BigInt());
+    p.c_[k] = std::move(c);
+  }
+  return p;
+}
+
+void Poly::trim() {
+  while (!c_.empty() && c_.back().is_zero()) c_.pop_back();
+}
+
+const BigInt& Poly::coeff(std::size_t i) const {
+  return i < c_.size() ? c_[i] : kZero;
+}
+
+const BigInt& Poly::leading() const {
+  check_arg(!c_.empty(), "Poly::leading: zero polynomial");
+  return c_.back();
+}
+
+std::size_t Poly::max_coeff_bits() const {
+  std::size_t m = 0;
+  for (const auto& c : c_) m = std::max(m, c.bit_length());
+  return m;
+}
+
+Poly Poly::operator-() const {
+  Poly r = *this;
+  for (auto& c : r.c_) c = -c;
+  return r;
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+  Poly r;
+  r.c_.resize(std::max(a.c_.size(), b.c_.size()));
+  for (std::size_t i = 0; i < r.c_.size(); ++i) {
+    r.c_[i] = a.coeff(i) + b.coeff(i);
+  }
+  r.trim();
+  return r;
+}
+
+Poly operator-(const Poly& a, const Poly& b) {
+  Poly r;
+  r.c_.resize(std::max(a.c_.size(), b.c_.size()));
+  for (std::size_t i = 0; i < r.c_.size(); ++i) {
+    r.c_[i] = a.coeff(i) - b.coeff(i);
+  }
+  r.trim();
+  return r;
+}
+
+Poly operator*(const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  Poly r;
+  r.c_.assign(a.c_.size() + b.c_.size() - 1, BigInt());
+  for (std::size_t i = 0; i < a.c_.size(); ++i) {
+    if (a.c_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < b.c_.size(); ++j) {
+      if (b.c_[j].is_zero()) continue;
+      r.c_[i + j] += a.c_[i] * b.c_[j];
+    }
+  }
+  r.trim();
+  return r;
+}
+
+Poly operator*(const BigInt& s, const Poly& p) {
+  if (s.is_zero()) return {};
+  Poly r = p;
+  for (auto& c : r.c_) c *= s;
+  return r;
+}
+
+Poly Poly::divexact_scalar(const BigInt& s) const {
+  Poly r = *this;
+  for (auto& c : r.c_) c = BigInt::divexact(c, s);
+  return r;
+}
+
+Poly Poly::shifted_up(std::size_t k) const {
+  if (is_zero() || k == 0) return *this;
+  Poly r;
+  r.c_.assign(c_.size() + k, BigInt());
+  for (std::size_t i = 0; i < c_.size(); ++i) r.c_[i + k] = c_[i];
+  return r;
+}
+
+Poly Poly::derivative() const {
+  if (c_.size() <= 1) return {};
+  Poly r;
+  r.c_.resize(c_.size() - 1);
+  for (std::size_t i = 1; i < c_.size(); ++i) {
+    r.c_[i - 1] = BigInt(static_cast<long long>(i)) * c_[i];
+  }
+  r.trim();
+  return r;
+}
+
+BigInt Poly::content() const {
+  BigInt g;
+  for (const auto& c : c_) {
+    g = gcd(g, c);
+    if (g.is_one()) break;
+  }
+  return g;
+}
+
+Poly Poly::primitive_part() const {
+  if (is_zero()) return {};
+  BigInt g = content();
+  if (leading().negative()) g = -g;
+  return divexact_scalar(g);
+}
+
+void Poly::pseudo_divmod(const Poly& a, const Poly& b, Poly& q, Poly& r) {
+  check_arg(!b.is_zero(), "pseudo_divmod: zero divisor");
+  check_arg(a.degree() >= b.degree(), "pseudo_divmod: deg a < deg b");
+  const int da = a.degree();
+  const int db = b.degree();
+  const BigInt& lb = b.leading();
+
+  // Work on lc(b)^(da-db+1) * a incrementally: classic pseudo-division.
+  // `rem` is kept at full length (da+1 coefficients) until the end so the
+  // index arithmetic below never reads or writes out of bounds.
+  std::vector<BigInt> rem = a.c_;
+  std::vector<BigInt> quot(static_cast<std::size_t>(da - db) + 1, BigInt());
+  for (int k = da - db; k >= 0; --k) {
+    // rem <- lc(b)*rem - coef*x^k*b with coef the current coefficient at
+    // degree db+k (taken *before* the scaling), so the top term cancels.
+    const BigInt coef = rem[static_cast<std::size_t>(db + k)];
+    for (auto& c : quot) c *= lb;
+    for (auto& c : rem) c *= lb;
+    quot[static_cast<std::size_t>(k)] = coef;
+    if (!coef.is_zero()) {
+      for (int i = 0; i <= db; ++i) {
+        rem[static_cast<std::size_t>(i + k)] -=
+            coef * b.c_[static_cast<std::size_t>(i)];
+      }
+    }
+    check_internal(rem[static_cast<std::size_t>(db + k)].is_zero(),
+                   "pseudo_divmod: no degree drop");
+  }
+  q = Poly(std::move(quot));
+  r = Poly(std::move(rem));
+}
+
+Poly Poly::divexact(const Poly& a, const Poly& b) {
+  check_arg(!b.is_zero(), "Poly::divexact: zero divisor");
+  if (a.is_zero()) return {};
+  check_arg(a.degree() >= b.degree(), "Poly::divexact: deg a < deg b");
+  const int da = a.degree();
+  const int db = b.degree();
+  std::vector<BigInt> rem = a.c_;
+  std::vector<BigInt> quot(static_cast<std::size_t>(da - db) + 1, BigInt());
+  for (int k = da - db; k >= 0; --k) {
+    const BigInt& top = rem[static_cast<std::size_t>(db + k)];
+    if (!top.is_zero()) {
+      const BigInt qc = BigInt::divexact(top, b.leading());
+      for (int i = 0; i <= db; ++i) {
+        rem[static_cast<std::size_t>(i + k)] -=
+            qc * b.c_[static_cast<std::size_t>(i)];
+      }
+      quot[static_cast<std::size_t>(k)] = qc;
+    }
+  }
+  for (const auto& c : rem) {
+    check_internal(c.is_zero(), "Poly::divexact: division not exact");
+  }
+  return Poly(std::move(quot));
+}
+
+Poly poly_gcd(Poly a, Poly b) {
+  a = a.primitive_part();
+  b = b.primitive_part();
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  if (a.degree() < b.degree()) std::swap(a, b);
+  while (!b.is_zero()) {
+    Poly q, r;
+    Poly::pseudo_divmod(a, b, q, r);
+    a = std::move(b);
+    b = r.primitive_part();
+  }
+  return a.primitive_part();
+}
+
+std::string Poly::to_string(const char* var) const {
+  if (is_zero()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = c_.size(); i-- > 0;) {
+    const BigInt& c = c_[i];
+    if (c.is_zero()) continue;
+    if (first) {
+      if (c.negative()) os << "-";
+      first = false;
+    } else {
+      os << (c.negative() ? " - " : " + ");
+    }
+    const BigInt mag = c.abs();
+    if (i == 0) {
+      os << mag.to_decimal();
+    } else {
+      if (!mag.is_one()) os << mag.to_decimal() << "*";
+      os << var;
+      if (i > 1) os << "^" << i;
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Poly& p) {
+  return os << p.to_string();
+}
+
+}  // namespace pr

@@ -1,0 +1,131 @@
+// Dense univariate polynomials with BigInt coefficients.
+//
+// Coefficients are stored little-endian (coeff(0) is the constant term).
+// The zero polynomial has degree() == -1 and an empty coefficient vector;
+// all public operations keep the representation normalized (no stored
+// leading zero coefficient).
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+
+namespace pr {
+
+class Poly {
+ public:
+  /// Zero polynomial.
+  Poly() = default;
+
+  /// From low-to-high coefficients: Poly{1, -3, 2} is 2x^2 - 3x + 1.
+  Poly(std::initializer_list<long long> coeffs);
+  explicit Poly(std::vector<BigInt> coeffs);
+
+  static Poly constant(BigInt c);
+  /// c * x^k.
+  static Poly monomial(BigInt c, std::size_t k);
+  /// The identity polynomial x.
+  static Poly x() { return monomial(BigInt(1), 1); }
+
+  // --- observers ---------------------------------------------------------
+
+  /// Degree; -1 for the zero polynomial.
+  int degree() const { return static_cast<int>(c_.size()) - 1; }
+  bool is_zero() const { return c_.empty(); }
+  bool is_constant() const { return c_.size() <= 1; }
+
+  /// Coefficient of x^i (zero beyond the degree).
+  const BigInt& coeff(std::size_t i) const;
+  /// Leading coefficient; precondition: not zero polynomial.
+  const BigInt& leading() const;
+
+  /// Bit length of the largest |coefficient| -- the paper's ||p||.
+  std::size_t max_coeff_bits() const;
+
+  const std::vector<BigInt>& coeffs() const { return c_; }
+
+  // --- arithmetic --------------------------------------------------------
+
+  Poly operator-() const;
+  friend Poly operator+(const Poly& a, const Poly& b);
+  friend Poly operator-(const Poly& a, const Poly& b);
+  /// Schoolbook product (the cost model the paper analyzes).
+  friend Poly operator*(const Poly& a, const Poly& b);
+  friend Poly operator*(const BigInt& s, const Poly& p);
+
+  Poly& operator+=(const Poly& o) { return *this = *this + o; }
+  Poly& operator-=(const Poly& o) { return *this = *this - o; }
+  Poly& operator*=(const Poly& o) { return *this = *this * o; }
+
+  /// Divides every coefficient by `s` exactly (throws InternalError if any
+  /// division is inexact).
+  Poly divexact_scalar(const BigInt& s) const;
+
+  /// Multiplies by x^k.
+  Poly shifted_up(std::size_t k) const;
+
+  /// d/dx.
+  Poly derivative() const;
+
+  /// p(x) at an integer point (Horner).
+  BigInt eval(const BigInt& x) const;
+  /// Sign of p(x) at an integer point: -1, 0, +1.
+  int sign_at(const BigInt& x) const { return eval(x).signum(); }
+
+  /// 2^(deg * w) * p(a / 2^w) -- the scaled evaluation of Section 4.3.
+  /// The result is an integer whose sign equals sign(p(a / 2^w)).
+  BigInt eval_scaled(const BigInt& a, std::size_t w) const;
+  /// Sign of p at the rational point a / 2^w.
+  int sign_at_scaled(const BigInt& a, std::size_t w) const {
+    return eval_scaled(a, w).signum();
+  }
+
+  /// Content (gcd of coefficients, non-negative; 0 for zero polynomial).
+  BigInt content() const;
+  /// p / content, with positive leading coefficient.
+  Poly primitive_part() const;
+
+  /// Pseudo-division: lc(b)^(deg a - deg b + 1) * a == q*b + r with
+  /// deg r < deg b.  Preconditions: b != 0, deg a >= deg b.
+  static void pseudo_divmod(const Poly& a, const Poly& b, Poly& q, Poly& r);
+
+  /// Exact polynomial division (throws InternalError if b does not
+  /// divide a over the integers).
+  static Poly divexact(const Poly& a, const Poly& b);
+
+  friend bool operator==(const Poly& a, const Poly& b) { return a.c_ == b.c_; }
+
+  /// p(x + c), computed by repeated synthetic division (O(d^2) BigInt
+  /// operations).  Shifts every root by -c.
+  Poly taylor_shift(const BigInt& c) const;
+
+  /// x^deg * p(1/x): reverses the coefficients.  Maps each non-zero root
+  /// r to 1/r.
+  Poly reversed() const;
+
+  /// p(q(x)) by Horner over polynomials.
+  Poly compose(const Poly& q) const;
+
+  /// Parses "x^3 - 2*x + 1", "3x^2+5", "-x", "7", ... (optional '*',
+  /// arbitrary-size decimal coefficients).  Throws InvalidArgument with a
+  /// position diagnostic on malformed input.
+  static Poly parse(std::string_view text, char var = 'x');
+
+  /// Human-readable form, e.g. "2*x^2 - 3*x + 1".
+  std::string to_string(const char* var = "x") const;
+  friend std::ostream& operator<<(std::ostream& os, const Poly& p);
+
+ private:
+  std::vector<BigInt> c_;
+
+  void trim();
+};
+
+/// gcd of two integer polynomials (primitive, positive leading coeff),
+/// computed with a primitive PRS.  gcd(0, 0) == 0.
+Poly poly_gcd(Poly a, Poly b);
+
+}  // namespace pr

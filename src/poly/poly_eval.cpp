@@ -1,0 +1,31 @@
+// Polynomial evaluation: Horner's rule at integer points and the scaled
+// integer-only evaluation of Section 4.3 at dyadic rational points.
+#include "poly/poly.hpp"
+
+namespace pr {
+
+BigInt Poly::eval(const BigInt& x) const {
+  if (c_.empty()) return BigInt();
+  BigInt acc = c_.back();
+  for (std::size_t i = c_.size() - 1; i-- > 0;) {
+    acc = acc * x + c_[i];
+  }
+  return acc;
+}
+
+BigInt Poly::eval_scaled(const BigInt& a, std::size_t w) const {
+  // Evaluates p_w(a) = sum_j p_j 2^{(d-j)w} a^j by Horner:
+  //   E <- p_d;  E <- E*a + p_{d-i} * 2^{i*w}   for i = 1..d,
+  // so that E == 2^{dw} p(a / 2^w).  Only shifts and the d multiplications
+  // by `a` are needed -- exactly the cost profile analyzed in Eq. (37).
+  if (c_.empty()) return BigInt();
+  BigInt acc = c_.back();
+  std::size_t shift = 0;
+  for (std::size_t i = c_.size() - 1; i-- > 0;) {
+    shift += w;
+    acc = acc * a + (c_[i] << shift);
+  }
+  return acc;
+}
+
+}  // namespace pr

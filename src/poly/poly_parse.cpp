@@ -1,0 +1,117 @@
+// Parsing polynomials from human-readable strings:
+//   "x^3 - 2*x + 1", "3x^2+5", "-x", "7".
+// Grammar: a signed sum of terms; a term is [coeff][*][var[^exp]] with an
+// optional '*', decimal coefficients of arbitrary size, and a single
+// variable letter (default 'x').
+#include <cctype>
+
+#include "poly/poly.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+  char var;
+
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+  }
+  bool done() {
+    skip_ws();
+    return pos >= s.size();
+  }
+  char peek() {
+    skip_ws();
+    return pos < s.size() ? s[pos] : '\0';
+  }
+  [[noreturn]] void fail(const std::string& why) {
+    throw InvalidArgument("Poly::parse: " + why + " at position " +
+                          std::to_string(pos) + " of \"" + std::string(s) +
+                          "\"");
+  }
+
+  BigInt parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+    }
+    if (pos == start) fail("expected a number");
+    return BigInt::from_decimal(s.substr(start, pos - start));
+  }
+
+  std::size_t parse_exponent() {
+    skip_ws();
+    if (peek() != '^') return 1;
+    ++pos;  // '^'
+    const BigInt e = parse_number();
+    check_arg(e.fits_int64() && e.to_int64() >= 0 && e.to_int64() <= 100000,
+              "Poly::parse: exponent out of range");
+    return static_cast<std::size_t>(e.to_int64());
+  }
+
+  /// One term: [number]['*'][var['^' number]]; at least one of the
+  /// number / variable parts must be present.
+  void parse_term(std::vector<BigInt>& coeffs, bool negative) {
+    skip_ws();
+    BigInt coeff(1);
+    bool saw_number = false;
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      coeff = parse_number();
+      saw_number = true;
+    }
+    skip_ws();
+    if (peek() == '*') {
+      if (!saw_number) fail("dangling '*'");
+      ++pos;
+      skip_ws();
+    }
+    std::size_t exp = 0;
+    if (peek() == var) {
+      ++pos;
+      exp = parse_exponent();
+    } else if (!saw_number) {
+      fail(std::string("expected a coefficient or '") + var + "'");
+    }
+    if (coeffs.size() <= exp) coeffs.resize(exp + 1);
+    if (negative) {
+      coeffs[exp] -= coeff;
+    } else {
+      coeffs[exp] += coeff;
+    }
+  }
+
+  Poly parse() {
+    std::vector<BigInt> coeffs;
+    bool first = true;
+    while (!done()) {
+      bool negative = false;
+      const char c = peek();
+      if (c == '+' || c == '-') {
+        negative = c == '-';
+        ++pos;
+      } else if (!first) {
+        fail("expected '+' or '-' between terms");
+      }
+      parse_term(coeffs, negative);
+      first = false;
+    }
+    if (first) fail("empty input");
+    return Poly(std::move(coeffs));
+  }
+};
+
+}  // namespace
+
+Poly Poly::parse(std::string_view text, char var) {
+  Parser p{text, 0, var};
+  return p.parse();
+}
+
+}  // namespace pr

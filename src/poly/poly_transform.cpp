@@ -1,0 +1,41 @@
+// Structural polynomial transformations: Taylor shift and reversal.
+#include "poly/poly.hpp"
+
+#include "support/error.hpp"
+
+namespace pr {
+
+Poly Poly::taylor_shift(const BigInt& c) const {
+  // p(x + c) by repeated synthetic division: writing
+  //   p(x) = q(x) (x) + r  after substituting y = x - (-c)...
+  // Classic scheme: with coefficients a_d..a_0, run d+1 rounds of Horner
+  // accumulation; round k leaves the coefficient of (x)^k of p(x + c).
+  if (is_zero() || c.is_zero()) return *this;
+  std::vector<BigInt> a = c_;  // low-to-high
+  const std::size_t d = a.size() - 1;
+  // Synthetic division by (x - (-c)) repeatedly: after pass k, a[k] holds
+  // the coefficient of x^k of the shifted polynomial.
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = d; i-- > k;) {
+      a[i] += c * a[i + 1];
+    }
+  }
+  return Poly(std::move(a));
+}
+
+Poly Poly::reversed() const {
+  if (is_zero()) return {};
+  std::vector<BigInt> r(c_.rbegin(), c_.rend());
+  return Poly(std::move(r));
+}
+
+Poly Poly::compose(const Poly& q) const {
+  if (is_zero()) return {};
+  Poly acc = Poly::constant(leading());
+  for (int i = degree() - 1; i >= 0; --i) {
+    acc = acc * q + Poly::constant(coeff(static_cast<std::size_t>(i)));
+  }
+  return acc;
+}
+
+}  // namespace pr

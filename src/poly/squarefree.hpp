@@ -1,0 +1,31 @@
+// Squarefree decomposition (Yun's algorithm).
+//
+// Used to (a) preprocess inputs with repeated roots for the tree algorithm
+// (Section 2.3 of the paper handles repeated roots by an extended remainder
+// sequence; see DESIGN.md for why this reproduction realizes that stage as
+// squarefree reduction) and (b) report root multiplicities.
+#pragma once
+
+#include <vector>
+
+#include "poly/poly.hpp"
+
+namespace pr {
+
+/// One factor of the decomposition p = content * prod_k factor_k^{mult_k}.
+struct SquarefreeFactor {
+  Poly factor;        ///< primitive, squarefree, positive leading coeff
+  unsigned multiplicity = 0;
+};
+
+/// Yun's squarefree decomposition of a non-zero integer polynomial.
+/// Factors with factor == 1 are omitted; multiplicities are strictly
+/// increasing.  The product of factor^multiplicity equals p up to a
+/// rational constant.
+std::vector<SquarefreeFactor> squarefree_decompose(const Poly& p);
+
+/// The squarefree part p / gcd(p, p'), primitive with positive leading
+/// coefficient.  Its roots are exactly the distinct roots of p.
+Poly squarefree_part(const Poly& p);
+
+}  // namespace pr

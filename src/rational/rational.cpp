@@ -1,0 +1,132 @@
+#include "rational/rational.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace pr {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  if (den_.is_zero()) throw DivisionByZero();
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.negative()) {
+    den_ = -den_;
+    num_ = -num_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  const BigInt g = gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ = BigInt::divexact(num_, g);
+    den_ = BigInt::divexact(den_, g);
+  }
+}
+
+Rational Rational::dyadic(const BigInt& a, std::size_t w) {
+  return Rational(a, BigInt::pow2(w));
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.num_, a.den_ * b.den_);
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  if (b.is_zero()) throw DivisionByZero();
+  return Rational(a.num_ * b.den_, a.den_ * b.num_);
+}
+
+Rational Rational::abs() const {
+  Rational r = *this;
+  r.num_ = r.num_.abs();
+  return r;
+}
+
+Rational Rational::reciprocal() const {
+  if (is_zero()) throw DivisionByZero();
+  return Rational(den_, num_);
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // a.num/a.den <=> b.num/b.den  with positive denominators.
+  return a.num_ * b.den_ <=> b.num_ * a.den_;
+}
+
+BigInt Rational::floor() const { return BigInt::fdiv(num_, den_); }
+
+BigInt Rational::ceil() const { return BigInt::cdiv(num_, den_); }
+
+double Rational::to_double() const {
+  // Scale so the division happens in a well-conditioned range.
+  if (num_.is_zero()) return 0.0;
+  const auto nb = static_cast<long long>(num_.bit_length());
+  const auto db = static_cast<long long>(den_.bit_length());
+  const long long shift = db - nb + 64;
+  BigInt scaled = num_;
+  if (shift > 0) {
+    scaled <<= static_cast<std::size_t>(shift);
+  }
+  BigInt q = scaled / den_;
+  double v = q.to_double();
+  if (shift > 0) v *= std::pow(2.0, -static_cast<double>(shift));
+  if (shift < 0) {
+    // Numerator dwarfs denominator; plain double division of the parts is
+    // fine (the quotient exceeds 2^64 anyway).
+    v = num_.to_double() / den_.to_double();
+  }
+  return v;
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_decimal();
+  return num_.to_decimal() + "/" + den_.to_decimal();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+Rational eval_at_rational(const Poly& p, const Rational& x) {
+  if (p.is_zero()) return Rational();
+  // Horner over rationals: exact, normalized at each step.
+  Rational acc(p.leading());
+  for (int i = p.degree() - 1; i >= 0; --i) {
+    acc = acc * x + Rational(p.coeff(static_cast<std::size_t>(i)));
+  }
+  return acc;
+}
+
+Rational linear_root(const Poly& p) {
+  check_arg(p.degree() == 1, "linear_root: polynomial must be linear");
+  return Rational(-p.coeff(0), p.coeff(1));
+}
+
+Rational RationalInterval::midpoint() const {
+  return (lo + hi) * Rational(BigInt(1), BigInt(2));
+}
+
+RationalInterval root_enclosure(const BigInt& k, std::size_t mu) {
+  return {Rational::dyadic(k - BigInt(1), mu), Rational::dyadic(k, mu)};
+}
+
+}  // namespace pr

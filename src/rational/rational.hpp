@@ -1,0 +1,93 @@
+// Exact rational numbers over BigInt.
+//
+// The paper notes that "the algorithm as described ... involves arithmetic
+// over the rationals" before explaining its scaled-integer workaround
+// (Section 3.3).  This module provides the genuine rationals for users of
+// the library: converting mu-approximations into exact rational
+// enclosures, evaluating polynomials at rational points, and expressing
+// roots of linear polynomials exactly.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "bigint/bigint.hpp"
+#include "poly/poly.hpp"
+
+namespace pr {
+
+/// An exact rational p/q, always normalized: gcd(|p|, q) == 1, q > 0,
+/// zero is 0/1.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  Rational(long long v) : num_(v), den_(1) {}  // NOLINT(google-explicit-constructor)
+  Rational(BigInt v) : num_(std::move(v)), den_(1) {}  // NOLINT
+  /// p/q; throws DivisionByZero if q == 0.
+  Rational(BigInt num, BigInt den);
+
+  /// The dyadic rational a / 2^w.
+  static Rational dyadic(const BigInt& a, std::size_t w);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_.is_one(); }
+  int signum() const { return num_.signum(); }
+
+  Rational operator-() const;
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  /// Throws DivisionByZero if b == 0.
+  friend Rational operator/(const Rational& a, const Rational& b);
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  Rational abs() const;
+  /// 1/x; throws DivisionByZero on zero.
+  Rational reciprocal() const;
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  /// floor/ceil to BigInt.
+  BigInt floor() const;
+  BigInt ceil() const;
+
+  double to_double() const;
+  /// "p/q" (or just "p" for integers).
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+ private:
+  BigInt num_;
+  BigInt den_;  // > 0
+
+  void normalize();
+};
+
+/// Evaluates an integer polynomial exactly at a rational point.
+Rational eval_at_rational(const Poly& p, const Rational& x);
+
+/// Exact rational root of a linear polynomial c1 x + c0.
+Rational linear_root(const Poly& p);
+
+/// The half-open enclosure ((k-1)/2^mu, k/2^mu] of a mu-approximated root,
+/// as a pair of exact rationals.
+struct RationalInterval {
+  Rational lo, hi;  ///< root in (lo, hi]
+  Rational width() const { return hi - lo; }
+  Rational midpoint() const;
+};
+RationalInterval root_enclosure(const BigInt& k, std::size_t mu);
+
+}  // namespace pr

@@ -1,0 +1,238 @@
+#include "sched/task_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "instr/counters.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pr {
+
+namespace {
+
+/// Shared state of one central-queue execution (the paper's policy).
+struct CentralState {
+  TaskGraph* graph = nullptr;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<TaskId> ready;             // the central task queue
+  std::vector<std::int32_t> pending;    // remaining deps per task
+  std::size_t remaining = 0;            // tasks not yet completed
+  std::exception_ptr error;
+  std::size_t tasks_run = 0;
+
+  void worker() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      cv.wait(lock, [&] { return !ready.empty() || remaining == 0 || error; });
+      if (remaining == 0 || error) return;
+      const TaskId id = ready.front();
+      ready.pop_front();
+      lock.unlock();
+
+      Task& t = graph->task(id);
+      const std::uint64_t before = instr::thread_bit_cost();
+      try {
+        if (t.fn) t.fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> g(mutex);
+        if (!error) error = std::current_exception();
+        remaining = 0;
+        cv.notify_all();
+        return;
+      }
+      t.cost = instr::thread_bit_cost() - before;
+
+      lock.lock();
+      tasks_run += 1;
+      remaining -= 1;
+      bool added = false;
+      for (TaskId dep : t.dependents) {
+        if (--pending[static_cast<std::size_t>(dep)] == 0) {
+          ready.push_back(dep);
+          added = true;
+        }
+      }
+      if (remaining == 0 || added) cv.notify_all();
+    }
+  }
+};
+
+/// Shared state of a work-stealing execution.  Each worker owns a deque
+/// under its own lock; local pops are LIFO (depth-first, cache-friendly),
+/// steals take the oldest task (closest to the critical path).  A global
+/// mutex/condvar only coordinates sleeping when everything is empty.
+struct StealState {
+  TaskGraph* graph = nullptr;
+  int workers = 1;
+
+  struct Local {
+    std::mutex mutex;
+    std::deque<TaskId> deque;
+  };
+  std::vector<std::unique_ptr<Local>> local;
+
+  std::mutex idle_mutex;
+  std::condition_variable idle_cv;
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<std::size_t> tasks_run{0};
+  std::atomic<std::size_t> steals{0};
+  std::vector<std::atomic<std::int32_t>> pending;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  explicit StealState(std::size_t n) : pending(n) {}
+
+  bool try_pop_local(int self, TaskId& out) {
+    auto& l = *local[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> g(l.mutex);
+    if (l.deque.empty()) return false;
+    out = l.deque.back();  // LIFO
+    l.deque.pop_back();
+    return true;
+  }
+
+  bool try_steal(int self, TaskId& out) {
+    for (int d = 1; d < workers; ++d) {
+      const int victim = (self + d) % workers;
+      auto& l = *local[static_cast<std::size_t>(victim)];
+      std::lock_guard<std::mutex> g(l.mutex);
+      if (!l.deque.empty()) {
+        out = l.deque.front();  // FIFO steal
+        l.deque.pop_front();
+        steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void push(int self, TaskId id) {
+    auto& l = *local[static_cast<std::size_t>(self)];
+    {
+      std::lock_guard<std::mutex> g(l.mutex);
+      l.deque.push_back(id);
+    }
+    idle_cv.notify_one();
+  }
+
+  void worker(int self) {
+    while (true) {
+      if (remaining.load(std::memory_order_acquire) == 0) return;
+      {
+        std::lock_guard<std::mutex> g(error_mutex);
+        if (error) return;
+      }
+      TaskId id;
+      if (!try_pop_local(self, id) && !try_steal(self, id)) {
+        std::unique_lock<std::mutex> lock(idle_mutex);
+        idle_cv.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+
+      Task& t = graph->task(id);
+      const std::uint64_t before = instr::thread_bit_cost();
+      try {
+        if (t.fn) t.fn();
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mutex);
+        if (!error) error = std::current_exception();
+        remaining.store(0, std::memory_order_release);
+        idle_cv.notify_all();
+        return;
+      }
+      t.cost = instr::thread_bit_cost() - before;
+      tasks_run.fetch_add(1, std::memory_order_relaxed);
+
+      for (TaskId dep : t.dependents) {
+        if (pending[static_cast<std::size_t>(dep)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          push(self, dep);
+        }
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        idle_cv.notify_all();
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TaskPool::TaskPool(int num_threads, PoolPolicy policy)
+    : num_threads_(num_threads), policy_(policy) {
+  check_arg(num_threads >= 1, "TaskPool: need at least one thread");
+}
+
+TaskPoolStats TaskPool::run(TaskGraph& graph) {
+  Stopwatch sw;
+  TaskPoolStats stats;
+
+  if (policy_ == PoolPolicy::kCentralQueue) {
+    CentralState state;
+    state.graph = &graph;
+    state.pending.resize(graph.size());
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      state.pending[i] = graph.task(static_cast<TaskId>(i)).num_deps;
+    }
+    state.remaining = graph.size();
+    for (TaskId id : graph.initial_tasks()) state.ready.push_back(id);
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int i = 1; i < num_threads_; ++i) {
+      threads.emplace_back([&state] { state.worker(); });
+    }
+    state.worker();
+    for (auto& th : threads) th.join();
+    if (state.error) std::rethrow_exception(state.error);
+    check_internal(state.tasks_run == graph.size(),
+                   "TaskPool: not every task ran");
+    stats.tasks_run = state.tasks_run;
+  } else {
+    StealState state(graph.size());
+    state.graph = &graph;
+    state.workers = num_threads_;
+    for (int i = 0; i < num_threads_; ++i) {
+      state.local.push_back(std::make_unique<StealState::Local>());
+    }
+    for (std::size_t i = 0; i < graph.size(); ++i) {
+      state.pending[i].store(graph.task(static_cast<TaskId>(i)).num_deps,
+                             std::memory_order_relaxed);
+    }
+    state.remaining.store(graph.size(), std::memory_order_release);
+    {
+      int w = 0;
+      for (TaskId id : graph.initial_tasks()) {
+        state.push(w, id);
+        w = (w + 1) % num_threads_;
+      }
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_threads_ - 1));
+    for (int i = 1; i < num_threads_; ++i) {
+      threads.emplace_back([&state, i] { state.worker(i); });
+    }
+    state.worker(0);
+    for (auto& th : threads) th.join();
+    if (state.error) std::rethrow_exception(state.error);
+    check_internal(state.tasks_run.load() == graph.size(),
+                   "TaskPool: not every task ran");
+    stats.tasks_run = state.tasks_run.load();
+    stats.steals = state.steals.load();
+  }
+
+  stats.wall_seconds = sw.seconds();
+  return stats;
+}
+
+}  // namespace pr

@@ -1,0 +1,124 @@
+#include "sched/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/text.hpp"
+
+namespace pr {
+
+TaskTrace TaskTrace::from_graph(const TaskGraph& graph) {
+  TaskTrace tr;
+  tr.tasks.reserve(graph.size());
+  for (const auto& t : graph.tasks()) {
+    TraceTask tt;
+    tt.cost = t.cost;
+    tt.kind = t.kind;
+    tt.tag = t.tag;
+    tt.num_deps = t.num_deps;
+    tt.dependents = t.dependents;
+    tr.tasks.push_back(std::move(tt));
+  }
+  return tr;
+}
+
+std::uint64_t TaskTrace::total_cost() const {
+  std::uint64_t sum = 0;
+  for (const auto& t : tasks) sum += t.cost;
+  return sum;
+}
+
+std::uint64_t TaskTrace::critical_path(std::uint64_t per_task_overhead) const {
+  std::vector<std::uint64_t> dist(tasks.size(), 0);
+  std::vector<std::int32_t> indeg(tasks.size());
+  std::vector<TaskId> queue;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    indeg[i] = tasks[i].num_deps;
+    if (indeg[i] == 0) queue.push_back(static_cast<TaskId>(i));
+  }
+  std::uint64_t best = 0;
+  while (!queue.empty()) {
+    const TaskId id = queue.back();
+    queue.pop_back();
+    const auto& t = tasks[static_cast<std::size_t>(id)];
+    const std::uint64_t finish =
+        dist[static_cast<std::size_t>(id)] + t.cost + per_task_overhead;
+    best = std::max(best, finish);
+    for (TaskId dep : t.dependents) {
+      auto& d = dist[static_cast<std::size_t>(dep)];
+      d = std::max(d, finish);
+      if (--indeg[static_cast<std::size_t>(dep)] == 0) queue.push_back(dep);
+    }
+  }
+  return best;
+}
+
+std::string TaskTrace::cost_breakdown() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t cost = 0;
+  };
+  std::map<std::string, Agg> by_kind;
+  for (const auto& t : tasks) {
+    auto& a = by_kind[task_kind_name(t.kind)];
+    a.count += 1;
+    a.cost += t.cost;
+  }
+  TextTable table({-12, 10, 18});
+  std::ostringstream os;
+  os << table.row({"kind", "tasks", "cost"}) << '\n' << table.rule() << '\n';
+  for (const auto& [name, agg] : by_kind) {
+    os << table.row({name, with_commas(agg.count), with_commas(agg.cost)})
+       << '\n';
+  }
+  return os.str();
+}
+
+void TaskTrace::save(std::ostream& os) const {
+  os << tasks.size() << '\n';
+  for (const auto& t : tasks) {
+    os << t.cost << ' ' << static_cast<int>(t.kind) << ' ' << t.tag << ' '
+       << t.num_deps << ' ' << t.dependents.size();
+    for (TaskId d : t.dependents) os << ' ' << d;
+    os << '\n';
+  }
+}
+
+void TaskTrace::save_dot(std::ostream& os) const {
+  os << "digraph tasks {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& t = tasks[i];
+    os << "  t" << i << " [label=\"" << task_kind_name(t.kind);
+    if (t.tag >= 0) os << " " << t.tag;
+    os << "\\n" << t.cost << "\"];\n";
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    for (TaskId d : tasks[i].dependents) {
+      os << "  t" << i << " -> t" << d << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+TaskTrace TaskTrace::load(std::istream& is) {
+  std::size_t n = 0;
+  is >> n;
+  TaskTrace tr;
+  tr.tasks.resize(n);
+  for (auto& t : tr.tasks) {
+    int kind = 0;
+    std::size_t ndeps = 0;
+    is >> t.cost >> kind >> t.tag >> t.num_deps >> ndeps;
+    t.kind = static_cast<TaskKind>(kind);
+    t.dependents.resize(ndeps);
+    for (auto& d : t.dependents) is >> d;
+  }
+  check_arg(static_cast<bool>(is), "TaskTrace::load: malformed trace");
+  return tr;
+}
+
+}  // namespace pr

@@ -1,0 +1,52 @@
+// Execution traces: the bridge between a real TaskGraph execution and the
+// discrete-event multiprocessor simulator.
+//
+// After TaskPool::run(), every task carries its deterministic bit-op cost.
+// A TaskTrace snapshots the DAG shape plus those costs; the simulator then
+// replays the paper's dynamic-scheduling policy under any processor count
+// -- this is how the reproduction regenerates the Sequent Symmetry speedup
+// experiments (Figures 9-13, Tables 3-12) on a single-core host.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sched/task_graph.hpp"
+
+namespace pr {
+
+struct TraceTask {
+  std::uint64_t cost = 0;
+  TaskKind kind = TaskKind::kGeneric;
+  std::int32_t tag = -1;
+  std::int32_t num_deps = 0;
+  std::vector<TaskId> dependents;
+};
+
+struct TaskTrace {
+  std::vector<TraceTask> tasks;
+
+  static TaskTrace from_graph(const TaskGraph& graph);
+
+  std::size_t size() const { return tasks.size(); }
+  /// Total work (single-processor cost, excluding dispatch overhead).
+  std::uint64_t total_cost() const;
+  /// Critical-path cost: the infinite-processor lower bound.
+  std::uint64_t critical_path(std::uint64_t per_task_overhead = 0) const;
+
+  /// Per-kind cost histogram (kind name -> {tasks, cost}).
+  std::string cost_breakdown() const;
+
+  /// Line-oriented serialization (one task per line: cost kind tag deps...).
+  void save(std::ostream& os) const;
+  static TaskTrace load(std::istream& is);
+
+  /// Graphviz DOT rendering of the DAG (the paper's Fig. 3.2 dependency
+  /// picture, concretely): nodes labeled kind/tag, sized by cost.  Keep to
+  /// small traces -- the output has one line per task and per edge.
+  void save_dot(std::ostream& os) const;
+};
+
+}  // namespace pr

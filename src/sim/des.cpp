@@ -1,0 +1,170 @@
+#include "sim/des.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace pr {
+
+double SimResult::utilization() const {
+  if (makespan == 0 || busy_per_proc.empty()) return 1.0;
+  std::uint64_t busy = 0;
+  for (auto b : busy_per_proc) busy += b;
+  return static_cast<double>(busy) /
+         (static_cast<double>(makespan) *
+          static_cast<double>(busy_per_proc.size()));
+}
+
+SimResult simulate_schedule(const TaskTrace& trace, const SimConfig& config) {
+  check_arg(config.processors >= 1, "simulate_schedule: processors >= 1");
+  const std::size_t n = trace.size();
+  SimResult result;
+  result.tasks = n;
+  result.busy_per_proc.assign(static_cast<std::size_t>(config.processors), 0);
+  if (n == 0) return result;
+
+  // Event-driven list scheduling with a FIFO ready queue.
+  struct Event {
+    std::uint64_t time;
+    TaskId task;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : task > o.task;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::deque<TaskId> ready;
+  std::vector<std::int32_t> pending(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending[i] = trace.tasks[i].num_deps;
+    if (pending[i] == 0) ready.push_back(static_cast<TaskId>(i));
+  }
+
+  int idle = config.processors;
+  int next_proc = 0;  // round-robin processor attribution for busy stats
+  std::uint64_t now = 0;
+  std::size_t completed = 0;
+
+  const auto dispatch = [&] {
+    while (idle > 0 && !ready.empty()) {
+      const TaskId id = ready.front();
+      ready.pop_front();
+      --idle;
+      const std::uint64_t dur =
+          trace.tasks[static_cast<std::size_t>(id)].cost +
+          config.dispatch_overhead;
+      result.total_work += dur;
+      result.busy_per_proc[static_cast<std::size_t>(next_proc)] += dur;
+      next_proc = (next_proc + 1) % config.processors;
+      events.push({now + dur, id});
+    }
+  };
+
+  dispatch();
+  while (completed < n) {
+    check_internal(!events.empty(), "simulate_schedule: deadlock in trace");
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+    ++idle;
+    ++completed;
+    for (TaskId dep : trace.tasks[static_cast<std::size_t>(ev.task)].dependents) {
+      if (--pending[static_cast<std::size_t>(dep)] == 0) {
+        ready.push_back(dep);
+      }
+    }
+    dispatch();
+  }
+  result.makespan = now;
+  return result;
+}
+
+ParallelismProfile parallelism_profile(const TaskTrace& trace) {
+  ParallelismProfile out;
+  const std::size_t n = trace.size();
+  if (n == 0) return out;
+
+  // ASAP schedule: start = max over dependency finishes.
+  std::vector<std::uint64_t> start(n, 0), finish(n, 0);
+  std::vector<std::int32_t> indeg(n);
+  std::vector<TaskId> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    indeg[i] = trace.tasks[i].num_deps;
+    if (indeg[i] == 0) queue.push_back(static_cast<TaskId>(i));
+  }
+  // (time, +1/-1) events; zero-cost tasks contribute no interval.
+  std::vector<std::pair<std::uint64_t, int>> events;
+  events.reserve(2 * n);
+  while (!queue.empty()) {
+    const TaskId id = queue.back();
+    queue.pop_back();
+    const auto uid = static_cast<std::size_t>(id);
+    finish[uid] = start[uid] + trace.tasks[uid].cost;
+    out.span = std::max(out.span, finish[uid]);
+    if (trace.tasks[uid].cost > 0) {
+      events.emplace_back(start[uid], +1);
+      events.emplace_back(finish[uid], -1);
+    }
+    for (TaskId dep : trace.tasks[uid].dependents) {
+      const auto ud = static_cast<std::size_t>(dep);
+      start[ud] = std::max(start[ud], finish[uid]);
+      if (--indeg[ud] == 0) queue.push_back(dep);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+
+  const std::uint64_t thresholds[] = {1, 2, 4, 8, 16, 32};
+  std::array<std::uint64_t, 6> time_at_least{};
+  std::uint64_t running = 0;
+  std::uint64_t prev_time = 0;
+  for (const auto& [time, delta] : events) {
+    const std::uint64_t dt = time - prev_time;
+    for (std::size_t t = 0; t < 6; ++t) {
+      if (running >= thresholds[t]) time_at_least[t] += dt;
+    }
+    if (delta > 0) {
+      ++running;
+    } else {
+      --running;
+    }
+    out.peak = std::max(out.peak, running);
+    prev_time = time;
+  }
+  if (out.span > 0) {
+    for (std::size_t t = 0; t < 6; ++t) {
+      out.at_least[t] = static_cast<double>(time_at_least[t]) /
+                        static_cast<double>(out.span);
+    }
+    out.average = static_cast<double>(trace.total_cost()) /
+                  static_cast<double>(out.span);
+  }
+  return out;
+}
+
+std::vector<double> simulate_speedups(const TaskTrace& trace,
+                                      const std::vector<int>& processor_counts,
+                                      std::uint64_t dispatch_overhead) {
+  SimConfig base;
+  base.processors = 1;
+  base.dispatch_overhead = dispatch_overhead;
+  const auto t1 = simulate_schedule(trace, base);
+  std::vector<double> out;
+  out.reserve(processor_counts.size());
+  for (int p : processor_counts) {
+    SimConfig cfg;
+    cfg.processors = p;
+    cfg.dispatch_overhead = dispatch_overhead;
+    const auto tp = simulate_schedule(trace, cfg);
+    out.push_back(static_cast<double>(t1.makespan) /
+                  static_cast<double>(tp.makespan));
+  }
+  return out;
+}
+
+}  // namespace pr

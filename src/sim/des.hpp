@@ -1,0 +1,64 @@
+// Discrete-event simulation of a P-processor shared-memory machine
+// executing a recorded task trace under the paper's dynamic central-queue
+// scheduling policy.
+//
+// This is the reproduction's substitute for the 20-processor Sequent
+// Symmetry (see DESIGN.md "Substitutions"): the speedup experiments of the
+// paper measure how the algorithm's task DAG parallelizes under dynamic
+// scheduling, which is exactly what the simulation computes -- with
+// deterministic, machine-independent task costs (bit operations) recorded
+// from a real execution.
+//
+// Scheduling policy: a single FIFO ready queue; a processor that becomes
+// free takes the head task; a task joins the queue the moment its last
+// dependency completes.  `dispatch_overhead` adds a fixed cost to every
+// task, modeling queue/synchronization overhead -- the knob that
+// reproduces the paper's granularity-driven speedup collapse at 16
+// processors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sched/trace.hpp"
+
+namespace pr {
+
+struct SimConfig {
+  int processors = 1;
+  /// Fixed extra cost per task (same units as task costs).
+  std::uint64_t dispatch_overhead = 0;
+};
+
+struct SimResult {
+  std::uint64_t makespan = 0;     ///< completion time of the last task
+  std::uint64_t total_work = 0;   ///< sum of task costs incl. overhead
+  std::vector<std::uint64_t> busy_per_proc;
+  std::size_t tasks = 0;
+
+  double utilization() const;
+};
+
+/// Simulates the trace on `config.processors` identical processors.
+SimResult simulate_schedule(const TaskTrace& trace, const SimConfig& config);
+
+/// Convenience: speedups makespan(1)/makespan(P) for each requested P.
+std::vector<double> simulate_speedups(const TaskTrace& trace,
+                                      const std::vector<int>& processor_counts,
+                                      std::uint64_t dispatch_overhead = 0);
+
+/// The DAG's inherent parallelism under an ASAP (infinite-processor)
+/// schedule: how many tasks run concurrently over time.
+struct ParallelismProfile {
+  double average = 0;       ///< total work / critical path
+  std::uint64_t peak = 0;   ///< maximum concurrent tasks
+  std::uint64_t span = 0;   ///< ASAP makespan == critical path
+  /// Fraction of the span during which at least {1, 2, 4, 8, 16, 32}
+  /// tasks run concurrently.
+  std::array<double, 6> at_least{};
+};
+
+ParallelismProfile parallelism_profile(const TaskTrace& trace);
+
+}  // namespace pr

@@ -1,0 +1,13 @@
+#include "support/error.hpp"
+
+namespace pr {
+
+void check_internal(bool cond, const char* msg) {
+  if (!cond) throw InternalError(msg);
+}
+
+void check_arg(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace pr

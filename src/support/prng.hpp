@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments in the paper use randomly generated inputs ("random 0-1
+// symmetric matrices").  To make every bench and test reproducible we use a
+// fixed, seedable generator (xoshiro256**) rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace pr {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// reimplemented here.  Deterministic across platforms.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Fair coin.
+  bool coin() { return (next() >> 63) != 0; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pr

@@ -1,0 +1,4 @@
+#include "support/stopwatch.hpp"
+
+// Header-only in practice; this TU exists so the module has a home in the
+// library and future non-inline additions do not churn the build.

@@ -1,0 +1,28 @@
+// Wall-clock timing helper used by benches and the parallel driver.
+#pragma once
+
+#include <chrono>
+
+namespace pr {
+
+/// Simple monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { restart(); }
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pr

@@ -1,0 +1,69 @@
+#include "support/text.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace pr {
+
+std::string fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string pad(const std::string& s, int w) {
+  const bool left = w < 0;
+  const std::size_t width = static_cast<std::size_t>(left ? -w : w);
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return left ? s + fill : fill + s;
+}
+
+std::string with_commas(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string TextTable::row(const std::vector<std::string>& cells) const {
+  std::string out;
+  for (std::size_t i = 0; i < widths_.size(); ++i) {
+    const std::string cell = i < cells.size() ? cells[i] : std::string();
+    out += pad(cell, widths_[i]);
+    if (i + 1 < widths_.size()) out += "  ";
+  }
+  return out;
+}
+
+std::string TextTable::rule() const {
+  std::size_t total = 0;
+  for (int w : widths_) total += static_cast<std::size_t>(w < 0 ? -w : w);
+  total += 2 * (widths_.empty() ? 0 : widths_.size() - 1);
+  return std::string(total, '-');
+}
+
+double ls_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  check_arg(x.size() == y.size() && x.size() >= 2,
+            "ls_slope: need >= 2 equal-length samples");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  check_arg(std::fabs(denom) > 1e-12, "ls_slope: degenerate x values");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace pr

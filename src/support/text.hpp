@@ -1,0 +1,38 @@
+// Small text/formatting helpers for benches and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pr {
+
+/// Formats a double with `prec` digits after the decimal point.
+std::string fixed(double v, int prec = 2);
+
+/// Right-pads or left-pads `s` to width `w` (positive width = right-align).
+std::string pad(const std::string& s, int w);
+
+/// Formats `v` with thousands separators ("1,234,567").
+std::string with_commas(std::uint64_t v);
+
+/// A minimal fixed-column ASCII table writer for bench output.
+class TextTable {
+ public:
+  /// `widths[i] > 0` right-aligns column i, `< 0` left-aligns.
+  explicit TextTable(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  /// Renders one row; missing cells are blank, extra cells are dropped.
+  std::string row(const std::vector<std::string>& cells) const;
+
+  /// A separator line ("----") spanning all columns.
+  std::string rule() const;
+
+ private:
+  std::vector<int> widths_;
+};
+
+/// Least-squares slope of y against x (used for log-log scaling fits).
+double ls_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace pr

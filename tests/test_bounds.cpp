@@ -1,0 +1,75 @@
+#include "poly/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "poly/squarefree.hpp"
+#include "poly/sturm.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Bounds, EnclosesKnownIntegerRoots) {
+  const Poly p = poly_from_integer_roots({100, -200, 5});
+  const std::size_t r = root_bound_pow2(p);
+  EXPECT_GT(BigInt::pow2(r), BigInt(200));
+}
+
+TEST(Bounds, MonicSmallCoefficients) {
+  // x^2 - 2: roots ~1.41.
+  EXPECT_GE(root_bound_pow2(Poly{-2, 0, 1}), 2u);
+}
+
+TEST(Bounds, NonMonicLeadingCoefficientShrinksBound) {
+  // 1000x - 1: root 0.001; Cauchy bound stays small.
+  EXPECT_LE(root_bound_pow2(Poly{-1, 1000}), 2u);
+}
+
+TEST(Bounds, RejectsConstants) {
+  EXPECT_THROW(root_bound_pow2(Poly{3}), InvalidArgument);
+  EXPECT_THROW(root_bound_pow2(Poly{}), InvalidArgument);
+}
+
+TEST(Bounds, SturmConfirmsAllRootsInsideBound) {
+  Prng rng(55);
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto input = paper_input(6 + rng.below(10), rng);
+    const std::size_t r = root_bound_pow2(input.poly);
+    const SturmChain sc(squarefree_part(input.poly));
+    const BigInt b = BigInt::pow2(r);
+    EXPECT_EQ(sc.count_half_open(-b, b, 0), sc.distinct_real_roots())
+        << "some root escapes [-2^R, 2^R]";
+  }
+}
+
+TEST(Bounds, WilkinsonBound) {
+  // Wilkinson(20) roots are 1..20 with astronomically larger coefficients
+  // (the constant term is 20!).  The Lagrange-Zassenhaus estimate keeps
+  // the bound tight: 2^R must exceed 20 but should stay within a few
+  // doublings of it.
+  const std::size_t r = root_bound_pow2(wilkinson(20));
+  EXPECT_GT(BigInt::pow2(r), BigInt(20));
+  EXPECT_LE(r, 9u) << "bound far looser than the Lagrange estimate";
+}
+
+TEST(Bounds, LagrangeBeatsCauchyOnWilkinson) {
+  // A direct consequence of taking the min: the Cauchy-only bound for
+  // wilkinson(20) would be ~ bits(max coeff) ~ 62; the combined bound is
+  // dramatically smaller.
+  EXPECT_LT(root_bound_pow2(wilkinson(20)),
+            wilkinson(20).max_coeff_bits() / 2);
+}
+
+TEST(Bounds, CauchyBeatsLagrangeOnDominantMidCoefficient) {
+  // p = x^3 + 2^60 x^2 + 1: Cauchy gives ~61 bits; Lagrange's k=1 term
+  // gives the same here, but for p = x^3 + 2^60 x + 1 (k=2) Lagrange
+  // gives ~31 bits.
+  const Poly p = Poly{1, 0, 0, 1} + Poly::monomial(BigInt::pow2(60), 1);
+  EXPECT_LE(root_bound_pow2(p), 33u);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,136 @@
+#include "verify/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/descartes_finder.hpp"
+#include "baseline/sturm_finder.hpp"
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Certificate, ValidForSimpleReport) {
+  const Poly p = poly_from_integer_roots({-3, 1, 4});
+  RootFinderConfig cfg;
+  cfg.mu_bits = 20;
+  const auto rep = find_real_roots(p, cfg);
+  const auto cert = certify(p, rep);
+  EXPECT_TRUE(cert.valid) << cert.to_string();
+  EXPECT_EQ(cert.distinct_roots, 3);
+  ASSERT_EQ(cert.cells.size(), 3u);
+  for (const auto& cell : cert.cells) {
+    EXPECT_EQ(cell.roots_inside, 1);
+    EXPECT_EQ(cell.witness, CellWitness::kExactRoot)
+        << "integer roots land exactly on grid points";
+  }
+}
+
+TEST(Certificate, SignChangeWitnessForIrrationalRoots) {
+  const Poly p{-2, 0, 1};
+  RootFinderConfig cfg;
+  cfg.mu_bits = 30;
+  const auto cert = certify(p, find_real_roots(p, cfg));
+  EXPECT_TRUE(cert.valid) << cert.to_string();
+  for (const auto& cell : cert.cells) {
+    EXPECT_EQ(cell.witness, CellWitness::kSignChange);
+  }
+}
+
+TEST(Certificate, SharedCellUsesSturmWitness) {
+  // Roots 1/4 and 3/8 share a cell at mu = 1.
+  const Poly p = Poly{-1, 4} * Poly{-3, 8};
+  RootFinderConfig cfg;
+  cfg.mu_bits = 1;
+  const auto cert = certify(p, find_real_roots(p, cfg));
+  EXPECT_TRUE(cert.valid) << cert.to_string();
+  ASSERT_EQ(cert.cells.size(), 1u);
+  EXPECT_EQ(cert.cells[0].roots_inside, 2);
+  EXPECT_EQ(cert.cells[0].witness, CellWitness::kSturmCount);
+}
+
+TEST(Certificate, RepeatedRootsWithMultiplicities) {
+  const Poly p = poly_from_integer_roots({2, 2, 2, 5, 5});
+  RootFinderConfig cfg;
+  cfg.mu_bits = 10;
+  const auto cert = certify(p, find_real_roots(p, cfg));
+  EXPECT_TRUE(cert.valid) << cert.to_string();
+  EXPECT_EQ(cert.distinct_roots, 2);
+}
+
+TEST(Certificate, DetectsMissingRoot) {
+  const Poly p = poly_from_integer_roots({-3, 1, 4});
+  RootFinderConfig cfg;
+  cfg.mu_bits = 16;
+  auto rep = find_real_roots(p, cfg);
+  rep.roots.pop_back();
+  rep.multiplicities.pop_back();
+  const auto cert = certify(p, rep);
+  EXPECT_FALSE(cert.valid);
+  EXPECT_FALSE(cert.failures.empty());
+}
+
+TEST(Certificate, DetectsWrongCell) {
+  const Poly p = poly_from_integer_roots({-3, 1, 4});
+  RootFinderConfig cfg;
+  cfg.mu_bits = 16;
+  auto rep = find_real_roots(p, cfg);
+  rep.roots[1] += BigInt(7);  // shift a cell off the root
+  const auto cert = certify(p, rep);
+  EXPECT_FALSE(cert.valid);
+}
+
+TEST(Certificate, DetectsDisorder) {
+  const Poly p = poly_from_integer_roots({-3, 1, 4});
+  RootFinderConfig cfg;
+  cfg.mu_bits = 16;
+  auto rep = find_real_roots(p, cfg);
+  std::swap(rep.roots[0], rep.roots[2]);
+  const auto cert = certify(p, rep);
+  EXPECT_FALSE(cert.valid);
+}
+
+TEST(Certificate, DetectsBadMultiplicities) {
+  const Poly p = poly_from_integer_roots({2, 2, 5});
+  RootFinderConfig cfg;
+  cfg.mu_bits = 12;
+  auto rep = find_real_roots(p, cfg);
+  rep.multiplicities[0] = 1;  // should be 2
+  const auto cert = certify(p, rep);
+  EXPECT_FALSE(cert.valid);
+}
+
+TEST(Certificate, CertifiesBaselineOutputsToo) {
+  Prng rng(2222);
+  const auto input = paper_input(13, rng);
+  IntervalSolverConfig cfg;
+  const auto sturm = sturm_find_roots(input.poly, 25, cfg, nullptr);
+  EXPECT_TRUE(certify_cells(input.poly, sturm, 25).valid);
+  const auto desc = descartes_find_roots(input.poly, 25, cfg, nullptr);
+  EXPECT_TRUE(certify_cells(input.poly, desc, 25).valid);
+}
+
+TEST(Certificate, ToStringMentionsOutcome) {
+  const Poly p{-2, 0, 1};
+  RootFinderConfig cfg;
+  cfg.mu_bits = 8;
+  const auto cert = certify(p, find_real_roots(p, cfg));
+  const std::string s = cert.to_string();
+  EXPECT_NE(s.find("VALID"), std::string::npos);
+  EXPECT_NE(s.find("sign change"), std::string::npos);
+}
+
+TEST(Certificate, RandomizedSweep) {
+  Prng rng(31415);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Poly p = random_jacobi_poly(10 + 5 * (trial % 3), 6, rng);
+    RootFinderConfig cfg;
+    cfg.mu_bits = 4 + 13 * static_cast<std::size_t>(trial % 4);
+    const auto cert = certify(p, find_real_roots(p, cfg));
+    EXPECT_TRUE(cert.valid) << cert.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace pr

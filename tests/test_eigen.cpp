@@ -1,0 +1,122 @@
+#include "eigen/symmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/matrix_polys.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Eigen, DiagonalMatrix) {
+  IntMatrix a(3);
+  a.at(0, 0) = BigInt(5);
+  a.at(1, 1) = BigInt(-2);
+  a.at(2, 2) = BigInt(5);
+  RootFinderConfig cfg;
+  cfg.mu_bits = 10;
+  const auto s = symmetric_eigenvalues(a, cfg);
+  ASSERT_EQ(s.distinct(), 2u);
+  EXPECT_EQ(s.eigenvalues[0], BigInt(-2) << 10);
+  EXPECT_EQ(s.eigenvalues[1], BigInt(5) << 10);
+  EXPECT_EQ(s.multiplicities, (std::vector<unsigned>{1, 2}));
+}
+
+TEST(Eigen, TwoByTwoClosedForm) {
+  // [[0, 1], [1, 0]]: eigenvalues -1 and 1.
+  IntMatrix a(2);
+  a.at(0, 1) = BigInt(1);
+  a.at(1, 0) = BigInt(1);
+  RootFinderConfig cfg;
+  cfg.mu_bits = 8;
+  const auto s = symmetric_eigenvalues(a, cfg);
+  ASSERT_EQ(s.distinct(), 2u);
+  EXPECT_EQ(s.eigenvalues[0], BigInt(-1) << 8);
+  EXPECT_EQ(s.eigenvalues[1], BigInt(1) << 8);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  IntMatrix a(2);
+  a.at(0, 1) = BigInt(1);
+  EXPECT_THROW(symmetric_eigenvalues(a), InvalidArgument);
+}
+
+TEST(Eigen, TraceAndFrobeniusIdentities) {
+  Prng rng(9090);
+  const IntMatrix a = random_symmetric_matrix(14, -6, 6, rng);
+  RootFinderConfig cfg;
+  cfg.mu_bits = 80;
+  const auto s = symmetric_eigenvalues(a, cfg);
+  double sum = 0, sumsq = 0;
+  for (std::size_t i = 0; i < s.distinct(); ++i) {
+    const double v = s.eigenvalue_as_double(i);
+    sum += v * s.multiplicities[i];
+    sumsq += v * v * s.multiplicities[i];
+  }
+  EXPECT_NEAR(sum, a.trace().to_double(), 1e-6);
+  EXPECT_NEAR(sumsq, (a * a).trace().to_double(), 1e-5);
+}
+
+TEST(Eigen, TridiagonalMatchesDense) {
+  Prng rng(9191);
+  const std::size_t n = 9;
+  std::vector<BigInt> diag, off;
+  IntMatrix dense(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag.emplace_back(rng.range(-4, 4));
+    dense.at(i, i) = diag.back();
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    off.emplace_back(rng.range(1, 4));
+    dense.at(i, i + 1) = off.back();
+    dense.at(i + 1, i) = off.back();
+  }
+  RootFinderConfig cfg;
+  cfg.mu_bits = 40;
+  const auto fast = tridiagonal_eigenvalues(diag, off, cfg);
+  const auto slow = symmetric_eigenvalues(dense, cfg);
+  EXPECT_EQ(fast.eigenvalues, slow.eigenvalues);
+  EXPECT_EQ(fast.multiplicities, slow.multiplicities);
+}
+
+TEST(Eigen, GershgorinEnclosure) {
+  // Every eigenvalue lies in the union of Gershgorin discs; for a
+  // symmetric integer matrix that is an interval check.
+  Prng rng(9292);
+  const IntMatrix a = random_symmetric_matrix(10, -5, 5, rng);
+  RootFinderConfig cfg;
+  cfg.mu_bits = 30;
+  const auto s = symmetric_eigenvalues(a, cfg);
+  // Global Gershgorin bound: max_i (|a_ii| + sum_j |a_ij|).
+  double bound = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < 10; ++j) {
+      row += std::fabs(a.at(i, j).to_double());
+    }
+    bound = std::max(bound, row);
+  }
+  for (std::size_t i = 0; i < s.distinct(); ++i) {
+    EXPECT_LE(std::fabs(s.eigenvalue_as_double(i)), bound + 1e-9);
+  }
+}
+
+TEST(Eigen, LargeTridiagonal) {
+  Prng rng(9393);
+  const std::size_t n = 60;
+  std::vector<BigInt> diag, off;
+  for (std::size_t i = 0; i < n; ++i) diag.emplace_back(rng.range(-3, 3));
+  for (std::size_t i = 0; i + 1 < n; ++i) off.emplace_back(rng.range(1, 3));
+  RootFinderConfig cfg;
+  cfg.mu_bits = 20;
+  const auto s = tridiagonal_eigenvalues(diag, off, cfg);
+  EXPECT_EQ(s.distinct(), n) << "Jacobi eigenvalues are simple";
+  EXPECT_TRUE(std::is_sorted(s.eigenvalues.begin(), s.eigenvalues.end()));
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,120 @@
+#include "instr/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "bigint/bigint.hpp"
+#include "instr/phase.hpp"
+
+namespace pr::instr {
+namespace {
+
+TEST(Instr, PhaseScopeNestsAndRestores) {
+  EXPECT_EQ(current_phase(), Phase::kOther);
+  {
+    PhaseScope outer(Phase::kRemainder);
+    EXPECT_EQ(current_phase(), Phase::kRemainder);
+    {
+      PhaseScope inner(Phase::kBisect);
+      EXPECT_EQ(current_phase(), Phase::kBisect);
+    }
+    EXPECT_EQ(current_phase(), Phase::kRemainder);
+  }
+  EXPECT_EQ(current_phase(), Phase::kOther);
+}
+
+TEST(Instr, OperationsAttributeToCurrentPhase) {
+  const PhaseCounts before = thread_counts();
+  {
+    PhaseScope scope(Phase::kTreePoly);
+    BigInt a = BigInt::pow2(100) + BigInt(3);
+    BigInt b = BigInt::pow2(90) + BigInt(7);
+    (void)(a * b);
+    (void)(a + b);
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+  }
+  const PhaseCounts delta = thread_counts() - before;
+  const OpCounts& tp = delta[Phase::kTreePoly];
+  EXPECT_EQ(tp.mul_count, 1u);
+  EXPECT_EQ(tp.div_count, 1u);
+  EXPECT_GE(tp.add_count, 1u);
+  EXPECT_EQ(tp.mul_bits, 101u * 91u);
+  EXPECT_EQ(delta[Phase::kNewton].mul_count, 0u);
+}
+
+TEST(Instr, BitCostConventions) {
+  const PhaseCounts before = thread_counts();
+  BigInt a = BigInt::pow2(63);   // 64 bits
+  BigInt b = BigInt::pow2(31);   // 32 bits
+  (void)(a * b);
+  (void)(a - b);
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  const OpCounts d = (thread_counts() - before)[Phase::kOther];
+  EXPECT_EQ(d.mul_bits, 64u * 32u);
+  EXPECT_EQ(d.add_bits, 64u);
+  EXPECT_EQ(d.div_bits, (64u - 32u + 1u) * 32u);
+}
+
+TEST(Instr, ThreadBitCostIsMonotone) {
+  const std::uint64_t t0 = thread_bit_cost();
+  (void)(BigInt::pow2(100) * BigInt::pow2(100));
+  const std::uint64_t t1 = thread_bit_cost();
+  EXPECT_GT(t1, t0);
+}
+
+TEST(Instr, AggregateSeesOtherThreads) {
+  reset_all();
+  std::thread worker([] {
+    PhaseScope scope(Phase::kSieve);
+    (void)(BigInt::pow2(50) * BigInt::pow2(50));
+  });
+  worker.join();
+  const PhaseCounts agg = aggregate();
+  EXPECT_GE(agg[Phase::kSieve].mul_count, 1u);
+}
+
+TEST(Instr, ResetClearsEverything) {
+  (void)(BigInt::pow2(10) * BigInt::pow2(10));
+  reset_all();
+  EXPECT_EQ(aggregate().total().mul_count, 0u);
+  EXPECT_EQ(thread_bit_cost(), 0u);
+}
+
+TEST(Instr, CountsArithmetic) {
+  OpCounts a;
+  a.mul_count = 3;
+  a.mul_bits = 100;
+  OpCounts b;
+  b.mul_count = 1;
+  b.mul_bits = 40;
+  OpCounts sum = a;
+  sum += b;
+  EXPECT_EQ(sum.mul_count, 4u);
+  EXPECT_EQ((sum - b).mul_bits, 100u);
+  EXPECT_EQ(sum.bit_cost(), 140u);
+}
+
+TEST(Instr, FormatMentionsActivePhases) {
+  reset_all();
+  {
+    PhaseScope scope(Phase::kNewton);
+    (void)(BigInt::pow2(10) * BigInt::pow2(10));
+  }
+  const std::string table = format(aggregate());
+  EXPECT_NE(table.find("newton"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+  EXPECT_EQ(table.find("sieve"), std::string::npos)
+      << "phases with no activity must be omitted";
+}
+
+TEST(Instr, PhaseNamesAreStable) {
+  EXPECT_STREQ(phase_name(Phase::kRemainder), "remainder");
+  EXPECT_STREQ(phase_name(Phase::kTreePoly), "treepoly");
+  EXPECT_STREQ(phase_name(Phase::kBaseline), "baseline");
+}
+
+}  // namespace
+}  // namespace pr::instr

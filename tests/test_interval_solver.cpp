@@ -1,0 +1,266 @@
+#include "core/interval_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/scaled_point.hpp"
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "poly/bounds.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+/// Brute-force oracle: ceil(2^mu x) for the unique root x of p in
+/// (lo/2^mu, hi/2^mu), found by sign bisection at very high precision.
+BigInt oracle(const Poly& p, const BigInt& lo, const BigInt& hi, int s_lo,
+              std::size_t mu) {
+  const std::size_t w = mu + 64;
+  BigInt a = lo << 64, b = hi << 64;
+  while (b - a > BigInt(1)) {
+    BigInt mid = a + ((b - a) >> 1);
+    const int s = p.sign_at_scaled(mid, w);
+    if (s == 0) return ceil_shift(mid, 64);
+    if (s == s_lo) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  return ceil_shift(b, 64);
+}
+
+struct Case {
+  Poly p;
+  BigInt lo, hi;  // unit interval at scale 0 with a sign change
+  int s_lo, s_hi;
+};
+
+/// Scans [-bound, bound] for unit intervals with a sign change; `bound`
+/// must cover all roots of p.
+std::vector<Case> integer_bracket_cases(const Poly& p, long long bound) {
+  std::vector<Case> out;
+  for (long long t = -bound; t < bound; ++t) {
+    const int s1 = p.sign_at(BigInt(t));
+    const int s2 = p.sign_at(BigInt(t + 1));
+    if (s1 * s2 < 0) out.push_back({p, BigInt(t), BigInt(t + 1), s1, s2});
+  }
+  return out;
+}
+
+class SolverModes : public ::testing::TestWithParam<
+                        IntervalSolverConfig::Mode> {};
+
+TEST_P(SolverModes, AgreesWithOracleOnCharPolyRoots) {
+  Prng rng(5);
+  IntervalSolverConfig cfg;
+  cfg.mode = GetParam();
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto input = paper_input(8 + 3 * trial, rng);
+    for (const std::size_t mu : {4u, 17u, 64u}) {
+      for (const auto& c : integer_bracket_cases(input.poly, 64)) {
+        IntervalStats st;
+        const BigInt got = solve_isolated_interval(
+            c.p, c.lo << mu, c.hi << mu, c.s_lo, c.s_hi, mu, cfg, &st);
+        EXPECT_EQ(got, oracle(c.p, c.lo << mu, c.hi << mu, c.s_lo, mu));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SolverModes,
+    ::testing::Values(IntervalSolverConfig::Mode::kHybrid,
+                      IntervalSolverConfig::Mode::kBisectionNewton,
+                      IntervalSolverConfig::Mode::kRegulaFalsi,
+                      IntervalSolverConfig::Mode::kPureBisection),
+    [](const auto& param_info) {
+      switch (param_info.param) {
+        case IntervalSolverConfig::Mode::kHybrid: return "Hybrid";
+        case IntervalSolverConfig::Mode::kBisectionNewton:
+          return "BisectNewton";
+        case IntervalSolverConfig::Mode::kRegulaFalsi: return "RegulaFalsi";
+        default: return "PureBisection";
+      }
+    });
+
+TEST(IntervalSolver, SingleCandidateNeedsNoEvaluation) {
+  IntervalStats st;
+  IntervalSolverConfig cfg;
+  // (lo, hi) with hi = lo+1: the only possible answer is hi.
+  const Poly p{-1, 0, 2};  // sqrt(1/2) ~ 0.707, between 0 and 1 at mu=0
+  const BigInt got =
+      solve_isolated_interval(p, BigInt(0), BigInt(1), -1, 1, 0, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 1);
+  EXPECT_EQ(st.total_evals(), 0u);
+}
+
+TEST(IntervalSolver, ExactDyadicRootDetected) {
+  // Root exactly 1/2 inside (0, 1) at mu = 4: answer ceil(16 * 0.5) = 8.
+  const Poly p{-1, 2};
+  IntervalStats st;
+  IntervalSolverConfig cfg;
+  const BigInt got = solve_isolated_interval(p, BigInt(0), BigInt(16), -1, 1,
+                                             4, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 8);
+}
+
+TEST(IntervalSolver, RootJustAboveGridPoint) {
+  // root = (2^20 + 1) / 2^25: 2^5 x = 1 + 2^-20, so k = ceil(2^5 x) = 2.
+  const Poly p{-(1LL << 20) - 1, 1LL << 25};
+  IntervalStats st;
+  IntervalSolverConfig cfg;
+  const BigInt got =
+      solve_isolated_interval(p, BigInt(0), BigInt(2), -1, 1, 5, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 2);
+}
+
+TEST(IntervalSolver, RootJustBelowGridPoint) {
+  // root = (2^20 - 1) / 2^25 at mu = 5: still k = 1.
+  const Poly p{-(1LL << 20) + 1, 1LL << 25};
+  IntervalStats st;
+  IntervalSolverConfig cfg;
+  const BigInt got =
+      solve_isolated_interval(p, BigInt(0), BigInt(2), -1, 1, 5, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 1);
+}
+
+TEST(IntervalSolver, DecreasingPolynomial) {
+  // -x + 1 root at 1 within (0, 2), s_lo = +, s_hi = -.
+  const Poly p{1, -1};
+  IntervalStats st;
+  IntervalSolverConfig cfg;
+  const BigInt got = solve_isolated_interval(p, BigInt(0) << 3, BigInt(2) << 3,
+                                             1, -1, 3, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 8);
+}
+
+TEST(IntervalSolver, HugePrecision) {
+  // sqrt(2) to 300 bits: verify the square of the result brackets 2.
+  const Poly p{-2, 0, 1};
+  const std::size_t mu = 300;
+  IntervalStats st;
+  IntervalSolverConfig cfg;
+  const BigInt got = solve_isolated_interval(p, BigInt(1) << mu,
+                                             BigInt(2) << mu, -1, 1, mu, cfg,
+                                             &st);
+  // (got-1)^2 < 2*2^(2mu) <= got^2.
+  EXPECT_LT((got - BigInt(1)) * (got - BigInt(1)), BigInt(2) << (2 * mu));
+  EXPECT_GE(got * got, BigInt(2) << (2 * mu));
+}
+
+TEST(IntervalSolver, HybridBeatsPureBisectionOnEvaluations) {
+  const Poly p = wilkinson(12).derivative();  // 11 non-integer real roots
+  const std::size_t mu = 120;
+  std::uint64_t evals[2];
+  int idx = 0;
+  for (auto mode : {IntervalSolverConfig::Mode::kHybrid,
+                    IntervalSolverConfig::Mode::kPureBisection}) {
+    IntervalSolverConfig cfg;
+    cfg.mode = mode;
+    IntervalStats st;
+    for (const auto& c : integer_bracket_cases(p, 16)) {
+      solve_isolated_interval(c.p, c.lo << mu, c.hi << mu, c.s_lo, c.s_hi,
+                              mu, cfg, &st);
+    }
+    evals[idx++] = st.total_evals();
+  }
+  EXPECT_LT(evals[0], evals[1])
+      << "hybrid must evaluate less than pure bisection at high precision";
+}
+
+TEST(IntervalSolver, SieveShinesWhenRootHugsAnEndpoint) {
+  // The double-exponential sieve exists for the worst case where the root
+  // sits pathologically close to one end of a huge isolating interval
+  // (paper Sec 2.2 / Eq. 38).  Root at 1/2^40 inside (0, 2^20).
+  const Poly p{-1, 1LL << 40};  // root 2^-40
+  const std::size_t mu = 60;
+  const BigInt lo(0);
+  const BigInt hi = BigInt(1) << (20 + mu);
+  std::uint64_t evals_hybrid = 0, evals_nosieve = 0;
+  for (const bool sieve : {true, false}) {
+    IntervalSolverConfig cfg;
+    cfg.mode = sieve ? IntervalSolverConfig::Mode::kHybrid
+                     : IntervalSolverConfig::Mode::kBisectionNewton;
+    IntervalStats st;
+    const BigInt got =
+        solve_isolated_interval(p, lo, hi, -1, 1, mu, cfg, &st);
+    EXPECT_EQ(got, BigInt(1) << 20);  // ceil(2^60 * 2^-40)
+    (sieve ? evals_hybrid : evals_nosieve) = st.total_evals();
+  }
+  // Bisection alone needs ~60 halvings to get from width 2^20 down to the
+  // root's 2^-40 neighbourhood; the sieve jumps there double-
+  // exponentially.
+  EXPECT_LT(evals_hybrid + 15, evals_nosieve)
+      << "hybrid=" << evals_hybrid << " nosieve=" << evals_nosieve;
+}
+
+TEST(IntervalSolver, GuardBitsExtremes) {
+  const Poly p{-2, 0, 1};
+  for (std::size_t guard : {0u, 1u, 100u}) {
+    IntervalSolverConfig cfg;
+    cfg.guard_bits = guard;
+    IntervalStats st;
+    const BigInt got = solve_isolated_interval(
+        p, BigInt(1) << 20, BigInt(2) << 20, -1, 1, 20, cfg, &st);
+    // ceil(2^20 sqrt(2)) = 1482911.
+    EXPECT_EQ(got.to_int64(), 1482911) << "guard=" << guard;
+  }
+}
+
+TEST(IntervalSolver, EvaluationsRespectWorstCaseBound) {
+  // Eq. (38): I(X, d) ~ 0.5 log^2 X + log(10 d^2) + O(log X) evaluations
+  // per interval in the worst case.  Check the hybrid never exceeds a
+  // generous constant multiple of that bound across a sweep.
+  Prng rng(424242);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto input = paper_input(8 + 4 * trial, rng);
+    const std::size_t mu = 100;
+    IntervalSolverConfig cfg;
+    const double d = input.poly.degree();
+    const double x = static_cast<double>(root_bound_pow2(input.poly) + mu);
+    const double bound_per_interval =
+        0.5 * std::log2(x) * std::log2(x) + std::log2(10 * d * d) +
+        8 * std::log2(x) + 20;
+    for (const auto& c : integer_bracket_cases(input.poly, 64)) {
+      IntervalStats st;
+      (void)solve_isolated_interval(c.p, c.lo << mu, c.hi << mu, c.s_lo,
+                                    c.s_hi, mu, cfg, &st);
+      EXPECT_LE(static_cast<double>(st.total_evals()), bound_per_interval)
+          << "n=" << input.poly.degree();
+    }
+  }
+}
+
+TEST(IntervalSolver, RejectsBadArguments) {
+  IntervalSolverConfig cfg;
+  const Poly p{-1, 0, 2};
+  EXPECT_THROW(solve_isolated_interval(p, BigInt(1), BigInt(0), -1, 1, 0,
+                                       cfg, nullptr),
+               InvalidArgument);
+  EXPECT_THROW(solve_isolated_interval(p, BigInt(0), BigInt(1), 1, 1, 0,
+                                       cfg, nullptr),
+               InvalidArgument);
+  EXPECT_THROW(solve_isolated_interval(p, BigInt(0), BigInt(1), 0, -1, 0,
+                                       cfg, nullptr),
+               InvalidArgument);
+}
+
+TEST(IntervalSolver, StatsAccumulate) {
+  IntervalStats a, b;
+  a.sieve_evals = 2;
+  a.case2c = 1;
+  b.sieve_evals = 3;
+  b.newton_iters = 4;
+  a += b;
+  EXPECT_EQ(a.sieve_evals, 5u);
+  EXPECT_EQ(a.newton_iters, 4u);
+  EXPECT_EQ(a.case2c, 1u);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,236 @@
+// The per-node case analysis (Cases 1 / 2a / 2b / 2c of Section 2.2).
+#include "core/interval_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/scaled_point.hpp"
+#include "gen/classic_polys.hpp"
+#include "poly/bounds.hpp"
+#include "poly/sturm.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+/// Exact mu-approximations of all roots of p via high-precision Sturm
+/// bisection -- the ground-truth oracle for the stage.
+std::vector<BigInt> oracle_roots(const Poly& p, std::size_t mu) {
+  const SturmChain chain(p);
+  const std::size_t r = root_bound_pow2(p);
+  std::vector<BigInt> out;
+  // Bisect cells (a, b] at increasing scale until each holds one root and
+  // is below the mu grid; then its ceiling endpoint is the answer.
+  struct Item {
+    BigInt lo, hi;
+    std::size_t s;
+  };
+  std::vector<Item> stack{{-BigInt::pow2(r), BigInt::pow2(r), 0}};
+  while (!stack.empty()) {
+    Item it = stack.back();
+    stack.pop_back();
+    const int cnt = chain.count_half_open(it.lo, it.hi, it.s);
+    if (cnt == 0) continue;
+    if (cnt == 1 && it.s > mu) {
+      // Pin the mu-cell: done when every point of (lo, hi] has the same
+      // ceiling approximation.
+      const BigInt klo = floor_shift(it.lo, it.s - mu) + BigInt(1);
+      const BigInt khi = ceil_shift(it.hi, it.s - mu);
+      if (klo == khi) {
+        out.push_back(khi);
+        continue;
+      }
+    }
+    const BigInt mid = it.lo + it.hi;
+    stack.push_back({it.lo + it.lo, mid, it.s + 1});
+    stack.push_back({mid, it.hi + it.hi, it.s + 1});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Ceiling mu-approximations of the roots of q (the "child" values).
+std::vector<BigInt> approx_roots(const Poly& q, std::size_t mu) {
+  return oracle_roots(q, mu);
+}
+
+TEST(IntervalStage, SolvesNodeGivenDerivativeInterleaving) {
+  // p and p' are an interleaving pair (Rolle); feed p' roots as ys.
+  Prng rng(40);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<long long> roots;
+    std::set<long long> used;
+    const int k = 3 + static_cast<int>(rng.below(4));
+    while (static_cast<int>(used.size()) < k) used.insert(rng.range(-30, 30));
+    roots.assign(used.begin(), used.end());
+    const Poly p = poly_from_integer_roots(roots);
+    for (std::size_t mu : {2u, 8u, 29u}) {
+      const std::vector<BigInt> ys = approx_roots(p.derivative(), mu);
+      const BigInt bound = BigInt::pow2(root_bound_pow2(p) + mu);
+      IntervalSolverConfig cfg;
+      IntervalStats st;
+      const auto got = solve_node_intervals(p, ys, mu, bound, cfg, &st);
+      ASSERT_EQ(got.size(), roots.size());
+      for (std::size_t i = 0; i < roots.size(); ++i) {
+        EXPECT_EQ(got[i], BigInt(roots[i]) << mu)
+            << "mu=" << mu << " root " << roots[i];
+      }
+    }
+  }
+}
+
+TEST(IntervalStage, IrrationalRootsMatchOracle) {
+  // p = (x^2-2)(x^2-3)(x^2-7): six irrational roots; interleave with p'.
+  const Poly p = Poly{-2, 0, 1} * Poly{-3, 0, 1} * Poly{-7, 0, 1};
+  for (std::size_t mu : {3u, 16u, 61u}) {
+    const auto ys = approx_roots(p.derivative(), mu);
+    const BigInt bound = BigInt::pow2(root_bound_pow2(p) + mu);
+    IntervalSolverConfig cfg;
+    const auto got = solve_node_intervals(p, ys, mu, bound, cfg, nullptr);
+    EXPECT_EQ(got, oracle_roots(p, mu)) << "mu=" << mu;
+  }
+}
+
+TEST(IntervalStage, Case1TriggersWhenChildrenCoincide) {
+  // Roots at 0 and the interleaving value approximations equal: use
+  // clustered roots 1/8 apart at mu = 1 so child approximations collapse.
+  Prng rng(50);
+  const Poly p = clustered_rational_roots(4, 8, 3, rng);
+  const std::size_t mu = 1;
+  const auto ys = approx_roots(p.derivative(), mu);
+  const BigInt bound = BigInt::pow2(root_bound_pow2(p) + mu);
+  IntervalSolverConfig cfg;
+  IntervalStats st;
+  const auto got = solve_node_intervals(p, ys, mu, bound, cfg, &st);
+  EXPECT_EQ(got, oracle_roots(p, mu));
+}
+
+TEST(IntervalStage, AnalyzePointFields) {
+  const Poly p{-4, 0, 1};  // roots +-2
+  // At k = 2<<3 (value 2, a root), scale 3.
+  const auto info = analyze_interleave_point(p, BigInt(16), 3);
+  EXPECT_GT(info.sign_right_at, 0) << "right limit past the root at 2";
+  EXPECT_LT(info.sign_at_minus, 0) << "p(15/8) < 0";
+  EXPECT_EQ(info.sign_right_at_minus, info.sign_at_minus);
+}
+
+TEST(IntervalStage, CountParityHelper) {
+  const Poly p = poly_from_integer_roots({-2, 1, 5});  // odd degree
+  // #roots <= 0 is 1 (odd): sign_right at 0.
+  EXPECT_FALSE(count_leq_is_even(p, sign_right_limit(p, BigInt(0), 0)));
+  // #roots <= 6 is 3 (odd).
+  EXPECT_FALSE(count_leq_is_even(p, sign_right_limit(p, BigInt(6), 0)));
+  // #roots <= -3 is 0 (even).
+  EXPECT_TRUE(count_leq_is_even(p, sign_right_limit(p, BigInt(-3), 0)));
+  // At an exact root the right limit counts it as passed: #roots <= 1 = 2.
+  EXPECT_TRUE(count_leq_is_even(p, sign_right_limit(p, BigInt(1), 0)));
+}
+
+TEST(IntervalStage, StageStatsClassifyCases) {
+  Prng rng(60);
+  const Poly p = clustered_rational_roots(6, 4, 10, rng);
+  const std::size_t mu = 24;
+  const auto ys = approx_roots(p.derivative(), mu);
+  const BigInt bound = BigInt::pow2(root_bound_pow2(p) + mu);
+  IntervalSolverConfig cfg;
+  IntervalStats st;
+  const auto got = solve_node_intervals(p, ys, mu, bound, cfg, &st);
+  EXPECT_EQ(st.case1 + st.case2a + st.case2b + st.case2c, got.size());
+}
+
+TEST(IntervalStage, Case2bDirect) {
+  // p = (10x - 29)(x - 5): roots 2.9 and 5.  Interval 0 with interleave
+  // approximations k_lo = -8 (sentinel) and k_hi = 3 (true y in (2, 3])
+  // at mu = 0: #roots <= -8 is 0 (= index) and #roots <= 2 is 0 (= index),
+  // so Case 2b fires and the answer is k_hi = ceil(2.9) = 3.
+  const Poly p = Poly{-29, 10} * Poly{-5, 1};
+  const BigInt klo(-8), khi(3);
+  const auto info_lo = analyze_interleave_point(p, klo, 0);
+  const auto info_hi = analyze_interleave_point(p, khi, 0);
+  IntervalSolverConfig cfg;
+  IntervalStats st;
+  const BigInt got =
+      solve_one_interval(p, 0, klo, khi, info_lo, info_hi, 0, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 3);
+  EXPECT_EQ(st.case2b, 1u);
+  EXPECT_EQ(st.case2c, 0u);
+}
+
+TEST(IntervalStage, Case2aDirect) {
+  // Same polynomial, interval 1 with k_lo = 5 (the exact root 5 sits on
+  // the interleave approximation) and k_hi = 8: #roots <= 5 is 2
+  // (= index + 1), so Case 2a fires: answer k_lo = 5.
+  const Poly p = Poly{-29, 10} * Poly{-5, 1};
+  const BigInt klo(5), khi(8);
+  const auto info_lo = analyze_interleave_point(p, klo, 0);
+  const auto info_hi = analyze_interleave_point(p, khi, 0);
+  IntervalSolverConfig cfg;
+  IntervalStats st;
+  const BigInt got =
+      solve_one_interval(p, 1, klo, khi, info_lo, info_hi, 0, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 5);
+  EXPECT_EQ(st.case2a, 1u);
+}
+
+TEST(IntervalStage, Case2cRightEndpointRoot) {
+  // Root exactly at the right cell boundary (k_hi - 1)/2^mu: Case 2c's
+  // zero-detection shortcut.  p roots: 2 and 7; interval 0 with k_lo = 0,
+  // k_hi = 3 at mu = 0: after 2a/2b fail, p(2) == 0 -> answer 2.
+  const Poly p = poly_from_integer_roots({2, 7});
+  const BigInt klo(0), khi(3);
+  const auto info_lo = analyze_interleave_point(p, klo, 0);
+  const auto info_hi = analyze_interleave_point(p, khi, 0);
+  IntervalSolverConfig cfg;
+  IntervalStats st;
+  const BigInt got =
+      solve_one_interval(p, 0, klo, khi, info_lo, info_hi, 0, cfg, &st);
+  EXPECT_EQ(got.to_int64(), 2);
+  EXPECT_EQ(st.case2c, 1u);
+  EXPECT_EQ(st.total_evals(), 0u) << "exact boundary root needs no solver";
+}
+
+TEST(IntervalStage, AllCasesAppearAcrossRandomRuns) {
+  // Sanity: over enough random dyadic-rooted inputs at coarse precision,
+  // all four cases occur somewhere.
+  Prng rng(123321);
+  IntervalStats st;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Poly p = clustered_rational_roots(6, 16, 3, rng);
+    const std::size_t mu = 2;
+    const auto ys = approx_roots(p.derivative(), mu);
+    const BigInt bound = BigInt::pow2(root_bound_pow2(p) + mu);
+    IntervalSolverConfig cfg;
+    (void)solve_node_intervals(p, ys, mu, bound, cfg, &st);
+  }
+  EXPECT_GT(st.case1, 0u);
+  EXPECT_GT(st.case2a + st.case2b, 0u);
+  EXPECT_GT(st.case2c, 0u);
+}
+
+TEST(IntervalStage, RejectsWrongInterleaveCount) {
+  const Poly p = poly_from_integer_roots({0, 3, 9});
+  IntervalSolverConfig cfg;
+  EXPECT_THROW(solve_node_intervals(p, {BigInt(1)}, 4,
+                                    BigInt::pow2(10), cfg, nullptr),
+               InvalidArgument);
+}
+
+TEST(IntervalStage, OutputIsNondecreasing) {
+  Prng rng(70);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Poly p = clustered_rational_roots(5, 16, 6, rng);
+    const std::size_t mu = 3;  // coarse grid forces shared cells
+    const auto ys = approx_roots(p.derivative(), mu);
+    const BigInt bound = BigInt::pow2(root_bound_pow2(p) + mu);
+    IntervalSolverConfig cfg;
+    const auto got = solve_node_intervals(p, ys, mu, bound, cfg, nullptr);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    EXPECT_EQ(got, oracle_roots(p, mu));
+  }
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "linalg/berkowitz.hpp"
+#include "linalg/intmatrix.hpp"
+#include "poly/squarefree.hpp"
+#include "poly/sturm.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+IntMatrix random_matrix(std::size_t n, Prng& rng, long long span = 5) {
+  IntMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = BigInt(rng.range(-span, span));
+    }
+  }
+  return a;
+}
+
+TEST(IntMatrix, ApplyAndTrace) {
+  IntMatrix a(2);
+  a.at(0, 0) = BigInt(1);
+  a.at(0, 1) = BigInt(2);
+  a.at(1, 0) = BigInt(3);
+  a.at(1, 1) = BigInt(4);
+  const auto v = a.apply({BigInt(5), BigInt(6)});
+  EXPECT_EQ(v[0].to_int64(), 17);
+  EXPECT_EQ(v[1].to_int64(), 39);
+  EXPECT_EQ(a.trace().to_int64(), 5);
+  EXPECT_THROW(a.apply({BigInt(1)}), InvalidArgument);
+}
+
+TEST(IntMatrix, MultiplicationMatchesHandComputation) {
+  IntMatrix a(2), b(2);
+  a.at(0, 0) = BigInt(1);
+  a.at(0, 1) = BigInt(2);
+  a.at(1, 0) = BigInt(3);
+  a.at(1, 1) = BigInt(4);
+  b.at(0, 0) = BigInt(-1);
+  b.at(0, 1) = BigInt(0);
+  b.at(1, 0) = BigInt(2);
+  b.at(1, 1) = BigInt(5);
+  const IntMatrix c = a * b;
+  EXPECT_EQ(c.at(0, 0).to_int64(), 3);
+  EXPECT_EQ(c.at(0, 1).to_int64(), 10);
+  EXPECT_EQ(c.at(1, 0).to_int64(), 5);
+  EXPECT_EQ(c.at(1, 1).to_int64(), 20);
+}
+
+TEST(IntMatrix, SymmetryCheck) {
+  IntMatrix a(2);
+  a.at(0, 1) = BigInt(1);
+  EXPECT_FALSE(a.is_symmetric());
+  a.at(1, 0) = BigInt(1);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(CharPoly, OneByOne) {
+  IntMatrix a(1);
+  a.at(0, 0) = BigInt(7);
+  EXPECT_EQ(charpoly_berkowitz(a), (Poly{-7, 1}));
+  EXPECT_EQ(charpoly_faddeev(a), (Poly{-7, 1}));
+}
+
+TEST(CharPoly, TwoByTwoClosedForm) {
+  // char(A) = x^2 - tr x + det.
+  IntMatrix a(2);
+  a.at(0, 0) = BigInt(2);
+  a.at(0, 1) = BigInt(3);
+  a.at(1, 0) = BigInt(5);
+  a.at(1, 1) = BigInt(7);
+  const Poly expected{2 * 7 - 3 * 5, -(2 + 7), 1};
+  EXPECT_EQ(charpoly_berkowitz(a), expected);
+  EXPECT_EQ(charpoly_faddeev(a), expected);
+}
+
+TEST(CharPoly, DiagonalMatrixHasEigenvalueRoots) {
+  IntMatrix a(3);
+  a.at(0, 0) = BigInt(1);
+  a.at(1, 1) = BigInt(-4);
+  a.at(2, 2) = BigInt(9);
+  const Poly expected = Poly{-1, 1} * Poly{4, 1} * Poly{-9, 1};
+  EXPECT_EQ(charpoly_berkowitz(a), expected);
+}
+
+TEST(CharPoly, IdentityAndZero) {
+  IntMatrix id(3);
+  id.add_diagonal(BigInt(1));
+  const Poly cube = Poly{-1, 1} * Poly{-1, 1} * Poly{-1, 1};
+  EXPECT_EQ(charpoly_berkowitz(id), cube);
+  IntMatrix z(4);
+  EXPECT_EQ(charpoly_berkowitz(z), Poly::monomial(BigInt(1), 4));
+}
+
+TEST(CharPoly, BerkowitzEqualsFaddeevOnRandomMatrices) {
+  Prng rng(66);
+  for (int iter = 0; iter < 15; ++iter) {
+    const std::size_t n = 2 + rng.below(8);
+    const IntMatrix a = random_matrix(n, rng);
+    EXPECT_EQ(charpoly_berkowitz(a), charpoly_faddeev(a));
+  }
+}
+
+TEST(CharPoly, CayleyHamilton) {
+  // p(A) == 0: evaluate the characteristic polynomial at the matrix.
+  Prng rng(77);
+  const std::size_t n = 4;
+  const IntMatrix a = random_matrix(n, rng, 3);
+  const Poly p = charpoly_berkowitz(a);
+  IntMatrix acc(n);  // p(A) accumulated via Horner
+  for (int i = p.degree(); i >= 0; --i) {
+    acc = acc * a;
+    acc.add_diagonal(p.coeff(static_cast<std::size_t>(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(acc.at(i, j).signum(), 0) << i << "," << j;
+    }
+  }
+}
+
+TEST(CharPoly, SymmetricMatricesHaveAllRealEigenvalues) {
+  Prng rng(88);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t n = 3 + rng.below(8);
+    IntMatrix a(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        const BigInt v(rng.range(-4, 4));
+        a.at(i, j) = v;
+        a.at(j, i) = v;
+      }
+    }
+    const Poly p = charpoly_berkowitz(a);
+    const Poly sf = squarefree_part(p);
+    EXPECT_EQ(SturmChain(sf).distinct_real_roots(), sf.degree());
+  }
+}
+
+TEST(CharPoly, MonicOfDegreeN) {
+  Prng rng(99);
+  const IntMatrix a = random_matrix(6, rng);
+  const Poly p = charpoly_berkowitz(a);
+  EXPECT_EQ(p.degree(), 6);
+  EXPECT_TRUE(p.leading().is_one());
+  // Constant term == (-1)^n det(A); trace check on x^{n-1} coefficient.
+  EXPECT_EQ(p.coeff(5), -a.trace());
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,173 @@
+// Section 4 analytic model vs the instrumented implementation.
+#include "model/mult_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/root_finder.hpp"
+#include "core/tree.hpp"
+#include "core/tree_builder.hpp"
+#include "gen/matrix_polys.hpp"
+#include "instr/counters.hpp"
+#include "model/size_bounds.hpp"
+#include "poly/bounds.hpp"
+#include "poly/remainder_sequence.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+model::Params params_for(const Poly& p, std::size_t mu) {
+  model::Params mp;
+  mp.n = p.degree();
+  mp.m = p.max_coeff_bits();
+  mp.mu = mu;
+  mp.r = root_bound_pow2(p);
+  return mp;
+}
+
+TEST(Model, BetaAndSizeBoundsAreMonotone) {
+  model::Params p;
+  p.n = 40;
+  p.m = 17;
+  p.mu = 50;
+  p.r = 5;
+  EXPECT_NEAR(model::beta(p), 2 * 17 + 3 * std::log2(40.0) + 2, 1e-9);
+  for (int i = 2; i < 40; ++i) {
+    EXPECT_GT(model::bound_f(p, i), model::bound_f(p, i - 1));
+    EXPECT_GT(model::bound_q(p, i), model::bound_f(p, i));
+    EXPECT_GE(model::bound_t(p, 1, i), model::bound_p(p, 1, i));
+  }
+  EXPECT_DOUBLE_EQ(p.big_x(), 55.0);
+}
+
+TEST(Model, RemainderMultsExactlyMatchImplementation) {
+  // The headline Figure 2-5 claim for the deterministic phase: the
+  // precise predicted count equals the traced count exactly.
+  Prng rng(2077);
+  for (int n : {5, 9, 16, 24, 33}) {
+    const auto input = paper_input(static_cast<std::size_t>(n), rng);
+    instr::reset_all();
+    (void)compute_remainder_sequence(input.poly);
+    const auto measured =
+        instr::aggregate()[instr::Phase::kRemainder].mul_count;
+    EXPECT_EQ(measured, model::remainder_mults(n)) << "n=" << n;
+  }
+}
+
+TEST(Model, TreeMultsExactlyMatchImplementation) {
+  Prng rng(2078);
+  // n = 5 with this seed has a zero quotient coefficient (3 skipped
+  // products); the slack below covers such sparsity.
+  for (int n : {6, 9, 16, 24}) {
+    const auto input = paper_input(static_cast<std::size_t>(n), rng);
+    const auto rs = compute_remainder_sequence(input.poly);
+    Tree tree(n);
+    instr::reset_all();
+    for (int idx : tree.postorder()) compute_node_poly(tree, idx, rs);
+    const auto measured = instr::aggregate()[instr::Phase::kTreePoly];
+    // Exact on dense inputs; a zero coefficient inside a quotient or tree
+    // polynomial would skip one scalar product, so allow that tiny slack.
+    EXPECT_LE(measured.mul_count, model::tree_mults(n)) << "n=" << n;
+    EXPECT_GE(measured.mul_count + model::tree_mults(n) / 50 + 1,
+              model::tree_mults(n))
+        << "n=" << n;
+    EXPECT_EQ(measured.div_count, model::tree_divs(n)) << "n=" << n;
+  }
+}
+
+TEST(Model, IntervalModelWithinFactorOfMeasurement) {
+  // The interval phase is input-dependent; the average-case model must
+  // land within a modest factor (the paper reports good but not exact
+  // fits, Figures 2-5).
+  Prng rng(2079);
+  const int n = 24;
+  const auto input = paper_input(n, rng);
+  const std::size_t mu = 107;
+  RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+  instr::reset_all();
+  const auto rep = find_real_roots(input.poly, cfg);
+  const auto agg = instr::aggregate();
+  const auto measured_interval =
+      agg[instr::Phase::kSieve].mul_count +
+      agg[instr::Phase::kBisect].mul_count +
+      agg[instr::Phase::kNewton].mul_count +
+      agg[instr::Phase::kPreInterval].mul_count;
+  const auto predicted = model::interval_mults(params_for(input.poly, mu));
+  EXPECT_GT(predicted, measured_interval / 3);
+  EXPECT_LT(predicted, measured_interval * 3);
+  // Bisection sub-phase alone (Figure 6): tighter.
+  const auto measured_bisect_evals = rep.stats.bisect_evals;
+  const auto predicted_bisect = model::bisect_evals(params_for(input.poly, mu));
+  EXPECT_GT(predicted_bisect, measured_bisect_evals / 2);
+  EXPECT_LT(predicted_bisect, measured_bisect_evals * 2);
+}
+
+TEST(Model, BitcostBoundsAreUpperBounds) {
+  // The Collins-based estimates are weak *upper* bounds (the paper's
+  // Figure 7 conclusion): they must dominate the measured bit cost.
+  Prng rng(2080);
+  for (int n : {10, 20, 30}) {
+    const auto input = paper_input(static_cast<std::size_t>(n), rng);
+    const std::size_t mu = 107;
+    const auto mp = params_for(input.poly, mu);
+    RootFinderConfig cfg;
+    cfg.mu_bits = mu;
+    instr::reset_all();
+    (void)find_real_roots(input.poly, cfg);
+    const auto agg = instr::aggregate();
+    EXPECT_GT(model::remainder_bitcost_bound(mp),
+              static_cast<double>(
+                  agg[instr::Phase::kRemainder].bit_cost()))
+        << "n=" << n;
+    EXPECT_GT(model::bisect_bitcost_bound(mp),
+              static_cast<double>(agg[instr::Phase::kBisect].bit_cost()))
+        << "n=" << n;
+    const double interval_measured =
+        static_cast<double>(agg[instr::Phase::kSieve].bit_cost() +
+                            agg[instr::Phase::kBisect].bit_cost() +
+                            agg[instr::Phase::kNewton].bit_cost() +
+                            agg[instr::Phase::kPreInterval].bit_cost());
+    EXPECT_GT(model::interval_bitcost_bound(mp), interval_measured)
+        << "n=" << n;
+  }
+}
+
+TEST(Model, TreeBitcostBoundScalesLikeN4) {
+  model::Params p;
+  p.m = 20;
+  p.mu = 50;
+  p.r = 6;
+  p.n = 31;
+  const double c1 = model::tree_bitcost_bound(p);
+  p.n = 63;
+  const double c2 = model::tree_bitcost_bound(p);
+  // Doubling n multiplies the Eq. 35/36 cost by ~2^4.
+  EXPECT_GT(c2 / c1, 8.0);
+  EXPECT_LT(c2 / c1, 40.0);
+}
+
+TEST(Model, EvalCostFormula) {
+  // Eq. 37: m X d + X^2 d^2 / 2.
+  EXPECT_DOUBLE_EQ(model::eval_bitcost_bound(10, 20, 3),
+                   10.0 * 20 * 3 + 0.5 * 400 * 9);
+}
+
+TEST(Model, IntervalModelComponents) {
+  const auto m = model::interval_model(120, 16);
+  EXPECT_GT(m.bisect_evals_per_interval, std::log2(10.0 * 256));
+  EXPECT_GT(m.newton_iters_per_interval, 2.0);
+  EXPECT_GT(m.evals_per_interval(),
+            m.bisect_evals_per_interval + m.sieve_evals_per_interval);
+  // More precision -> more Newton iterations; larger degree -> more
+  // bisection steps.
+  EXPECT_GT(model::interval_model(1000, 16).newton_iters_per_interval,
+            m.newton_iters_per_interval);
+  EXPECT_GT(model::interval_model(120, 64).bisect_evals_per_interval,
+            m.bisect_evals_per_interval);
+}
+
+}  // namespace
+}  // namespace pr

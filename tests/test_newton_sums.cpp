@@ -1,0 +1,93 @@
+#include "poly/newton_sums.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/root_finder.hpp"
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(NewtonSums, KnownIntegerRoots) {
+  // roots 1, 2, 3: s_1 = 6, s_2 = 14, s_3 = 36, s_4 = 98.
+  const Poly p = poly_from_integer_roots({1, 2, 3});
+  const auto s = power_sums(p, 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], Rational(6));
+  EXPECT_EQ(s[1], Rational(14));
+  EXPECT_EQ(s[2], Rational(36));
+  EXPECT_EQ(s[3], Rational(98));
+}
+
+TEST(NewtonSums, NonMonicAndNegativeRoots) {
+  // p = (2x - 1)(x + 3): roots 1/2, -3.  s_1 = -5/2, s_2 = 37/4.
+  const Poly p = Poly{-1, 2} * Poly{3, 1};
+  const auto s = power_sums(p, 2);
+  EXPECT_EQ(s[0], Rational(BigInt(-5), BigInt(2)));
+  EXPECT_EQ(s[1], Rational(BigInt(37), BigInt(4)));
+}
+
+TEST(NewtonSums, RepeatedRootsCountWithMultiplicity) {
+  // (x-2)^3: s_1 = 6, s_2 = 12.
+  const Poly p = poly_from_integer_roots({2, 2, 2});
+  const auto s = power_sums(p, 2);
+  EXPECT_EQ(s[0], Rational(6));
+  EXPECT_EQ(s[1], Rational(12));
+}
+
+TEST(NewtonSums, ElementarySymmetric) {
+  const Poly p = poly_from_integer_roots({1, 2, 3});
+  EXPECT_EQ(elementary_symmetric_from_coeffs(p, 0), Rational(1));
+  EXPECT_EQ(elementary_symmetric_from_coeffs(p, 1), Rational(6));
+  EXPECT_EQ(elementary_symmetric_from_coeffs(p, 2), Rational(11));
+  EXPECT_EQ(elementary_symmetric_from_coeffs(p, 3), Rational(6));
+  EXPECT_THROW(elementary_symmetric_from_coeffs(p, 4), InvalidArgument);
+}
+
+TEST(NewtonSums, MatchesCharPolyTraces) {
+  // For a characteristic polynomial, s_k = tr(A^k) exactly.
+  Prng rng(777000);
+  const IntMatrix a = random_symmetric_matrix(7, -3, 3, rng);
+  const Poly p = charpoly_berkowitz(a);
+  const auto s = power_sums(p, 3);
+  EXPECT_EQ(s[0], Rational(a.trace()));
+  EXPECT_EQ(s[1], Rational((a * a).trace()));
+  EXPECT_EQ(s[2], Rational((a * a * a).trace()));
+}
+
+TEST(NewtonSums, ValidatesRootFinderOutput) {
+  // The independent validation channel: approximate power sums of the
+  // returned roots must match the exact coefficient-derived values to
+  // within the mu-approximation error.
+  Prng rng(777001);
+  const auto input = paper_input(15, rng);
+  RootFinderConfig cfg;
+  cfg.mu_bits = 80;
+  const auto rep = find_real_roots(input.poly, cfg);
+  const auto s = power_sums(input.poly, 2);
+  double s1 = 0, s2 = 0, absmax = 0;
+  for (std::size_t i = 0; i < rep.roots.size(); ++i) {
+    const double v = rep.root_as_double(i);
+    s1 += v * rep.multiplicities[i];
+    s2 += v * v * rep.multiplicities[i];
+    absmax = std::max(absmax, std::fabs(v));
+  }
+  const double n = static_cast<double>(input.poly.degree());
+  const double eps1 = n * std::pow(2.0, -80.0) + 1e-9;
+  const double eps2 = 2 * n * absmax * std::pow(2.0, -80.0) + 1e-9;
+  EXPECT_NEAR(s1, s[0].to_double(), eps1 + 1e-7 * std::fabs(s1));
+  EXPECT_NEAR(s2, s[1].to_double(), eps2 + 1e-7 * std::fabs(s2));
+}
+
+TEST(NewtonSums, RejectsBadArguments) {
+  EXPECT_THROW(power_sums(Poly{3}, 2), InvalidArgument);
+  EXPECT_THROW(power_sums(Poly{0, 1}, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,208 @@
+// The task-parallel driver (Section 3): determinism across thread counts
+// and grains, DAG structure, and trace recording.
+#include "core/parallel_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "sim/des.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+RootFinderConfig base_config(std::size_t mu) {
+  RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+  return cfg;
+}
+
+class GrainModes : public ::testing::TestWithParam<RemainderGrain> {};
+
+TEST_P(GrainModes, MatchesSequentialBitForBit) {
+  // Seed chosen so every generated charpoly is squarefree (small 0/1
+  // matrices frequently have repeated eigenvalues, which would divert the
+  // parallel driver to its sequential fallback).
+  Prng rng(99);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto input = paper_input(6 + 4 * trial, rng);
+    const RootFinderConfig cfg = base_config(35);
+    const auto seq = find_real_roots(input.poly, cfg);
+    ParallelConfig pc;
+    pc.grain = GetParam();
+    for (int threads : {1, 2, 4}) {
+      pc.num_threads = threads;
+      const auto par = find_real_roots_parallel(input.poly, cfg, pc);
+      EXPECT_FALSE(par.used_sequential_fallback);
+      EXPECT_EQ(par.report.roots, seq.roots)
+          << "threads=" << threads << " n=" << input.poly.degree();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGrains, GrainModes,
+    ::testing::Values(RemainderGrain::kPerIteration,
+                      RemainderGrain::kPerCoefficient,
+                      RemainderGrain::kPerOperation),
+    [](const auto& param_info) {
+      switch (param_info.param) {
+        case RemainderGrain::kPerIteration: return "PerIteration";
+        case RemainderGrain::kPerCoefficient: return "PerCoefficient";
+        default: return "PerOperation";
+      }
+    });
+
+TEST(ParallelDriver, SequentialRemainderOption) {
+  Prng rng(9);
+  const auto input = paper_input(10, rng);
+  const RootFinderConfig cfg = base_config(24);
+  ParallelConfig pc;
+  pc.sequential_remainder = true;
+  pc.num_threads = 2;
+  const auto par = find_real_roots_parallel(input.poly, cfg, pc);
+  const auto seq = find_real_roots(input.poly, cfg);
+  EXPECT_EQ(par.report.roots, seq.roots);
+}
+
+TEST(ParallelDriver, TraceHasPaperTaskKinds) {
+  Prng rng(77);
+  const auto input = paper_input(9, rng);
+  const auto run =
+      find_real_roots_parallel(input.poly, base_config(20), ParallelConfig{});
+  std::map<TaskKind, int> kinds;
+  for (const auto& t : run.trace.tasks) kinds[t.kind]++;
+  EXPECT_GT(kinds[TaskKind::kQuotient], 0);
+  EXPECT_GT(kinds[TaskKind::kCoeff], 0);
+  EXPECT_GT(kinds[TaskKind::kMatEntry1], 0);
+  EXPECT_GT(kinds[TaskKind::kMatEntry2], 0);
+  EXPECT_GT(kinds[TaskKind::kSort], 0);
+  EXPECT_GT(kinds[TaskKind::kPreInterval], 0);
+  EXPECT_GT(kinds[TaskKind::kInterval], 0);
+  EXPECT_GT(kinds[TaskKind::kLinRoot], 0);
+  // Interval tasks: one per root per internal node.
+  EXPECT_GE(kinds[TaskKind::kInterval], input.poly.degree());
+}
+
+TEST(ParallelDriver, TraceCostsCoverRealWork) {
+  Prng rng(31);
+  const auto input = paper_input(12, rng);
+  const auto run =
+      find_real_roots_parallel(input.poly, base_config(40), ParallelConfig{});
+  EXPECT_GT(run.trace.total_cost(), 1000u);
+  EXPECT_LT(run.trace.critical_path(), run.trace.total_cost());
+}
+
+TEST(ParallelDriver, TraceIsDeterministicAcrossThreadCounts) {
+  Prng rng(55);
+  const auto input = paper_input(8, rng);
+  const RootFinderConfig cfg = base_config(30);
+  ParallelConfig p1, p4;
+  p1.num_threads = 1;
+  p4.num_threads = 4;
+  const auto run1 = find_real_roots_parallel(input.poly, cfg, p1);
+  const auto run4 = find_real_roots_parallel(input.poly, cfg, p4);
+  ASSERT_EQ(run1.trace.size(), run4.trace.size());
+  for (std::size_t i = 0; i < run1.trace.size(); ++i) {
+    EXPECT_EQ(run1.trace.tasks[i].cost, run4.trace.tasks[i].cost)
+        << "task " << i << " cost depends on thread count";
+  }
+}
+
+TEST(ParallelDriver, SimulatedSpeedupGrowsWithProcessors) {
+  Prng rng(41);
+  const auto input = paper_input(20, rng);
+  const auto run =
+      find_real_roots_parallel(input.poly, base_config(60), ParallelConfig{});
+  const auto sp = simulate_speedups(run.trace, {1, 2, 4, 8});
+  EXPECT_NEAR(sp[0], 1.0, 1e-9);
+  EXPECT_GT(sp[1], 1.5);
+  EXPECT_GT(sp[2], sp[1]);
+  EXPECT_GE(sp[3], sp[2] * 0.99);
+}
+
+TEST(ParallelDriver, RepeatedRootsDelegateToSequential) {
+  const Poly p = poly_from_integer_roots({2, 2, 5});
+  const auto run =
+      find_real_roots_parallel(p, base_config(12), ParallelConfig{});
+  EXPECT_TRUE(run.used_sequential_fallback);
+  ASSERT_EQ(run.report.roots.size(), 2u);
+  EXPECT_EQ(run.report.multiplicities, (std::vector<unsigned>{2, 1}));
+}
+
+TEST(ParallelDriver, ComplexRootsDelegateToSequential) {
+  const Poly p{1, 0, 0, 0, 1};  // x^4 + 1
+  const auto run =
+      find_real_roots_parallel(p, base_config(12), ParallelConfig{});
+  EXPECT_TRUE(run.used_sequential_fallback);
+  EXPECT_TRUE(run.report.roots.empty());
+}
+
+TEST(ParallelDriver, LinearInputDelegates) {
+  const auto run =
+      find_real_roots_parallel(Poly{-3, 2}, base_config(8), ParallelConfig{});
+  EXPECT_TRUE(run.used_sequential_fallback);
+  ASSERT_EQ(run.report.roots.size(), 1u);
+}
+
+TEST(ParallelDriver, WilkinsonParallel) {
+  const RootFinderConfig cfg = base_config(16);
+  ParallelConfig pc;
+  pc.num_threads = 3;
+  const auto run = find_real_roots_parallel(wilkinson(14), cfg, pc);
+  ASSERT_EQ(run.report.roots.size(), 14u);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_EQ(run.report.roots[static_cast<std::size_t>(i)],
+              BigInt(static_cast<long long>(i + 1)) << 16);
+  }
+}
+
+TEST(ParallelDriver, WorkStealingPolicyMatchesCentralQueue) {
+  Prng rng(99);
+  const auto input = paper_input(10, rng);
+  const RootFinderConfig cfg = base_config(40);
+  ParallelConfig central, stealing;
+  central.num_threads = 4;
+  stealing.num_threads = 4;
+  stealing.pool_policy = PoolPolicy::kWorkStealing;
+  const auto a = find_real_roots_parallel(input.poly, cfg, central);
+  const auto b = find_real_roots_parallel(input.poly, cfg, stealing);
+  EXPECT_FALSE(a.used_sequential_fallback);
+  EXPECT_FALSE(b.used_sequential_fallback);
+  EXPECT_EQ(a.report.roots, b.report.roots);
+  // Costs are deterministic regardless of the queueing policy.
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace.tasks[i].cost, b.trace.tasks[i].cost);
+  }
+}
+
+TEST(ParallelDriver, InherentParallelismIsSubstantial) {
+  Prng rng(99);
+  const auto input = paper_input(18, rng);
+  const auto run =
+      find_real_roots_parallel(input.poly, base_config(53), ParallelConfig{});
+  const auto prof = parallelism_profile(run.trace);
+  EXPECT_GT(prof.average, 3.0) << "the DAG should expose real parallelism";
+  EXPECT_GE(prof.peak, 8u);
+  EXPECT_GT(prof.at_least[1], 0.3) << ">= 2 tasks most of the time";
+}
+
+TEST(ParallelDriver, PerOperationGrainHasMoreTasks) {
+  Prng rng(88);
+  const auto input = paper_input(12, rng);
+  const RootFinderConfig cfg = base_config(16);
+  ParallelConfig coarse, fine;
+  coarse.grain = RemainderGrain::kPerIteration;
+  fine.grain = RemainderGrain::kPerOperation;
+  const auto runc = find_real_roots_parallel(input.poly, cfg, coarse);
+  const auto runf = find_real_roots_parallel(input.poly, cfg, fine);
+  EXPECT_GT(runf.trace.size(), runc.trace.size() + 100);
+  EXPECT_EQ(runc.report.roots, runf.report.roots);
+}
+
+}  // namespace
+}  // namespace pr

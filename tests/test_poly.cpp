@@ -1,0 +1,179 @@
+#include "poly/poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+Poly random_poly(Prng& rng, int deg, long long span = 50) {
+  std::vector<BigInt> c;
+  for (int i = 0; i <= deg; ++i) c.emplace_back(rng.range(-span, span));
+  if (c.back().is_zero()) c.back() = BigInt(1);
+  return Poly(std::move(c));
+}
+
+TEST(Poly, ZeroPolynomial) {
+  Poly z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_EQ(z.coeff(0).signum(), 0);
+  EXPECT_EQ(z.coeff(5).signum(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_THROW(z.leading(), InvalidArgument);
+}
+
+TEST(Poly, NormalizationDropsLeadingZeros) {
+  Poly p(std::vector<BigInt>{BigInt(1), BigInt(2), BigInt(0), BigInt(0)});
+  EXPECT_EQ(p.degree(), 1);
+  Poly q{3, 0, 0};
+  EXPECT_EQ(q.degree(), 0);
+}
+
+TEST(Poly, ConstructorsAndAccessors) {
+  Poly p{1, -3, 2};  // 2x^2 - 3x + 1
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_EQ(p.coeff(0).to_int64(), 1);
+  EXPECT_EQ(p.coeff(1).to_int64(), -3);
+  EXPECT_EQ(p.leading().to_int64(), 2);
+  EXPECT_EQ(Poly::constant(BigInt(5)).degree(), 0);
+  EXPECT_TRUE(Poly::constant(BigInt(0)).is_zero());
+  EXPECT_EQ(Poly::monomial(BigInt(3), 4).degree(), 4);
+  EXPECT_TRUE(Poly::monomial(BigInt(0), 4).is_zero());
+  EXPECT_EQ(Poly::x().degree(), 1);
+}
+
+TEST(Poly, ArithmeticBasics) {
+  Poly a{1, 2, 3};
+  Poly b{4, 5};
+  EXPECT_EQ(a + b, (Poly{5, 7, 3}));
+  EXPECT_EQ(a - b, (Poly{-3, -3, 3}));
+  EXPECT_EQ(a * b, (Poly{4, 13, 22, 15}));
+  EXPECT_EQ(-a, (Poly{-1, -2, -3}));
+  EXPECT_EQ(BigInt(2) * b, (Poly{8, 10}));
+  EXPECT_TRUE((a - a).is_zero());
+  EXPECT_TRUE((a * Poly{}).is_zero());
+}
+
+TEST(Poly, CancellationTrimsDegree) {
+  Poly a{0, 0, 1};
+  Poly b{1, 0, 1};
+  EXPECT_EQ((a - b).degree(), 0);
+  EXPECT_EQ((a - b).coeff(0).to_int64(), -1);
+}
+
+TEST(Poly, Derivative) {
+  EXPECT_EQ((Poly{7}).derivative().degree(), -1);
+  EXPECT_EQ((Poly{1, 2, 3, 4}).derivative(), (Poly{2, 6, 12}));
+  EXPECT_TRUE(Poly{}.derivative().is_zero());
+}
+
+TEST(Poly, Evaluation) {
+  Poly p{1, -3, 2};  // 2x^2 - 3x + 1 = (2x-1)(x-1)
+  EXPECT_EQ(p.eval(BigInt(0)).to_int64(), 1);
+  EXPECT_EQ(p.eval(BigInt(1)).to_int64(), 0);
+  EXPECT_EQ(p.eval(BigInt(3)).to_int64(), 10);
+  EXPECT_EQ(p.sign_at(BigInt(-5)), 1);
+  EXPECT_EQ(p.sign_at(BigInt(1)), 0);
+}
+
+TEST(Poly, ContentAndPrimitivePart) {
+  Poly p{6, -9, 12};
+  EXPECT_EQ(p.content().to_int64(), 3);
+  EXPECT_EQ(p.primitive_part(), (Poly{2, -3, 4}));
+  Poly negl{6, -12};  // leading negative
+  EXPECT_EQ(negl.primitive_part(), (Poly{-1, 2}))
+      << "primitive part must have positive leading coefficient";
+  EXPECT_EQ(Poly{}.content().signum(), 0);
+}
+
+TEST(Poly, ShiftedUp) {
+  EXPECT_EQ((Poly{1, 2}).shifted_up(2), (Poly{0, 0, 1, 2}));
+  EXPECT_TRUE(Poly{}.shifted_up(3).is_zero());
+}
+
+TEST(Poly, DivexactScalar) {
+  EXPECT_EQ((Poly{6, -9}).divexact_scalar(BigInt(3)), (Poly{2, -3}));
+  EXPECT_THROW((Poly{7}).divexact_scalar(BigInt(3)), InternalError);
+}
+
+TEST(Poly, PseudoDivisionIdentity) {
+  Prng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Poly a = random_poly(rng, 2 + static_cast<int>(rng.below(6)));
+    const Poly b = random_poly(rng, 1 + static_cast<int>(rng.below(3)));
+    if (a.degree() < b.degree()) continue;
+    Poly q, r;
+    Poly::pseudo_divmod(a, b, q, r);
+    // lc(b)^(da-db+1) * a == q*b + r with deg r < deg b.
+    const unsigned e = static_cast<unsigned>(a.degree() - b.degree() + 1);
+    const Poly lhs = Poly::constant(pow(b.leading(), e)) * a;
+    EXPECT_EQ(lhs, q * b + r);
+    EXPECT_LT(r.degree(), b.degree());
+  }
+}
+
+TEST(Poly, PseudoDivisionPreconditions) {
+  Poly q, r;
+  EXPECT_THROW(Poly::pseudo_divmod(Poly{1, 1}, Poly{}, q, r),
+               InvalidArgument);
+  EXPECT_THROW(Poly::pseudo_divmod(Poly{1}, Poly{1, 1}, q, r),
+               InvalidArgument);
+}
+
+TEST(Poly, DivexactPolynomial) {
+  Prng rng(13);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Poly a = random_poly(rng, static_cast<int>(rng.below(5)));
+    const Poly b = random_poly(rng, static_cast<int>(rng.below(4)));
+    EXPECT_EQ(Poly::divexact(a * b, b), a);
+  }
+  EXPECT_THROW(Poly::divexact(Poly{1, 1, 1}, Poly{1, 1}), InternalError);
+}
+
+TEST(Poly, GcdOfProducts) {
+  Prng rng(17);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Poly g = random_poly(rng, 1 + static_cast<int>(rng.below(3)));
+    const Poly a = random_poly(rng, static_cast<int>(rng.below(4)));
+    const Poly b = random_poly(rng, static_cast<int>(rng.below(4)));
+    const Poly d = poly_gcd(a * g, b * g);
+    // g divides the gcd: divexact must succeed on scaled d.
+    EXPECT_GE(d.degree(), g.primitive_part().degree());
+    const Poly gp = g.primitive_part();
+    // d is divisible by gp (gcd(a,b) may contribute more).
+    Poly q, r;
+    Poly::pseudo_divmod(d, gp, q, r);
+    EXPECT_TRUE(r.is_zero());
+  }
+}
+
+TEST(Poly, GcdEdgeCases) {
+  EXPECT_TRUE(poly_gcd(Poly{}, Poly{}).is_zero());
+  EXPECT_EQ(poly_gcd(Poly{0, 1}, Poly{}), (Poly{0, 1}));
+  EXPECT_EQ(poly_gcd(Poly{2, 4}, Poly{3}).degree(), 0);
+  EXPECT_EQ(poly_gcd(Poly{-2, -4}, Poly{1, 2}), (Poly{1, 2}));
+}
+
+TEST(Poly, MaxCoeffBits) {
+  EXPECT_EQ((Poly{255, -256}).max_coeff_bits(), 9u);
+  EXPECT_EQ(Poly{}.max_coeff_bits(), 0u);
+}
+
+TEST(Poly, ToStringFormatting) {
+  EXPECT_EQ((Poly{1, -3, 2}).to_string(), "2*x^2 - 3*x + 1");
+  EXPECT_EQ((Poly{0, 1}).to_string(), "x");
+  EXPECT_EQ((Poly{0, -1}).to_string(), "-x");
+  EXPECT_EQ((Poly{-7}).to_string(), "-7");
+  EXPECT_EQ((Poly{0, 0, 1}).to_string("y"), "y^2");
+  std::ostringstream os;
+  os << Poly{1, 1};
+  EXPECT_EQ(os.str(), "x + 1");
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,91 @@
+// Scaled (fixed-point) evaluation: the Section 4.3 machinery.
+#include <gtest/gtest.h>
+
+#include "instr/counters.hpp"
+#include "poly/poly.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(ScaledEval, MatchesDefinitionExactly) {
+  // p(x) = 3x^2 - x + 4 at x = a/2^w: eval_scaled must equal
+  // 2^(2w) * p(a/2^w) = 3a^2 - a*2^w + 4*2^(2w).
+  const Poly p{4, -1, 3};
+  for (long long a : {-9LL, -1LL, 0LL, 1LL, 5LL, 1000LL}) {
+    for (std::size_t w : {0u, 1u, 7u, 31u}) {
+      const BigInt expected = BigInt(3) * BigInt(a) * BigInt(a) -
+                              (BigInt(a) << w) + (BigInt(4) << (2 * w));
+      EXPECT_EQ(p.eval_scaled(BigInt(a), w), expected)
+          << "a=" << a << " w=" << w;
+    }
+  }
+}
+
+TEST(ScaledEval, ScaleZeroIsPlainEvaluation) {
+  Prng rng(3);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<BigInt> c;
+    const int deg = 1 + static_cast<int>(rng.below(6));
+    for (int i = 0; i <= deg; ++i) c.emplace_back(rng.range(-99, 99));
+    const Poly p(std::move(c));
+    const BigInt x(rng.range(-50, 50));
+    EXPECT_EQ(p.eval_scaled(x, 0), p.eval(x));
+  }
+}
+
+TEST(ScaledEval, SignAtScaledDetectsExactRoots) {
+  // 4x^2 - 1 has roots +-1/2.
+  const Poly p{-1, 0, 4};
+  EXPECT_EQ(p.sign_at_scaled(BigInt(1), 1), 0);
+  EXPECT_EQ(p.sign_at_scaled(BigInt(-1), 1), 0);
+  EXPECT_EQ(p.sign_at_scaled(BigInt(2), 2), 0);  // 2/4 = 1/2
+  EXPECT_LT(p.sign_at_scaled(BigInt(0), 1), 0);
+  EXPECT_GT(p.sign_at_scaled(BigInt(3), 1), 0);
+}
+
+TEST(ScaledEval, ConsistentAcrossScales) {
+  // Evaluating at a/2^w and (2a)/2^(w+1) must give the same sign.
+  Prng rng(8);
+  const Poly p{-7, 3, 0, 2, 1};
+  for (int iter = 0; iter < 200; ++iter) {
+    const BigInt a(rng.range(-1000, 1000));
+    const std::size_t w = rng.below(20);
+    EXPECT_EQ(p.sign_at_scaled(a, w), p.sign_at_scaled(a + a, w + 1));
+  }
+}
+
+TEST(ScaledEval, ScalingIdentity) {
+  // eval_scaled(a, w) == 2^(d*w) p(a/2^w): check against rational
+  // arithmetic emulated with exact integer cross-multiplication for a
+  // degree-3 polynomial.
+  const Poly p{5, 0, -2, 1};  // x^3 - 2x^2 + 5
+  Prng rng(21);
+  for (int iter = 0; iter < 100; ++iter) {
+    const long long a = rng.range(-64, 64);
+    const std::size_t w = 1 + rng.below(10);
+    // 2^(3w) p(a/2^w) = a^3 - 2 a^2 2^w + 5 * 2^(3w)
+    const BigInt expected = BigInt(a) * BigInt(a) * BigInt(a) -
+                            ((BigInt(2) * BigInt(a) * BigInt(a)) << w) +
+                            (BigInt(5) << (3 * w));
+    EXPECT_EQ(p.eval_scaled(BigInt(a), w), expected);
+  }
+}
+
+TEST(ScaledEval, ConstantAndZeroPolynomials) {
+  EXPECT_EQ((Poly{7}).eval_scaled(BigInt(123), 5).to_int64(), 7);
+  EXPECT_TRUE(Poly{}.eval_scaled(BigInt(123), 5).is_zero());
+}
+
+TEST(ScaledEval, HornerCountsDegreeMultiplications) {
+  // The Section 4.3 analysis charges d multiplications per evaluation;
+  // the implementation must match (shifts are free).
+  const Poly p{1, 1, 1, 1, 1, 1};  // degree 5
+  const auto before = instr::thread_counts().total();
+  (void)p.eval_scaled(BigInt(3), 16);
+  const auto delta = instr::thread_counts().total() - before;
+  EXPECT_EQ(delta.mul_count, 5u);
+}
+
+}  // namespace
+}  // namespace pr

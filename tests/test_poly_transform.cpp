@@ -1,0 +1,158 @@
+// Taylor shift, reversal, and string parsing.
+#include <gtest/gtest.h>
+
+#include "gen/classic_polys.hpp"
+#include "poly/poly.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(TaylorShift, KnownCases) {
+  // (x+1)^2 = x^2 + 2x + 1.
+  EXPECT_EQ((Poly{0, 0, 1}).taylor_shift(BigInt(1)), (Poly{1, 2, 1}));
+  // p(x) = x shifted by c: x + c.
+  EXPECT_EQ(Poly::x().taylor_shift(BigInt(-5)), (Poly{-5, 1}));
+  // Constants and zero are fixed points.
+  EXPECT_EQ((Poly{7}).taylor_shift(BigInt(3)), (Poly{7}));
+  EXPECT_TRUE(Poly{}.taylor_shift(BigInt(3)).is_zero());
+  EXPECT_EQ((Poly{1, 2, 3}).taylor_shift(BigInt(0)), (Poly{1, 2, 3}));
+}
+
+TEST(TaylorShift, AgreesWithPointEvaluation) {
+  Prng rng(64);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<BigInt> c;
+    const int deg = 1 + static_cast<int>(rng.below(7));
+    for (int i = 0; i <= deg; ++i) c.emplace_back(rng.range(-30, 30));
+    const Poly p(std::move(c));
+    const BigInt shift(rng.range(-10, 10));
+    const Poly q = p.taylor_shift(shift);
+    for (long long x = -4; x <= 4; ++x) {
+      EXPECT_EQ(q.eval(BigInt(x)), p.eval(BigInt(x) + shift));
+    }
+  }
+}
+
+TEST(TaylorShift, ShiftsRoots) {
+  // wilkinson(5) has roots 1..5; shifting by 2 moves them to -1..3.
+  const Poly w = wilkinson(5).taylor_shift(BigInt(2));
+  for (long long r = -1; r <= 3; ++r) {
+    EXPECT_EQ(w.eval(BigInt(r)).signum(), 0);
+  }
+}
+
+TEST(TaylorShift, Composes) {
+  Prng rng(65);
+  const Poly p = wilkinson(6);
+  EXPECT_EQ(p.taylor_shift(BigInt(3)).taylor_shift(BigInt(-3)), p);
+}
+
+TEST(Reversed, Basics) {
+  EXPECT_EQ((Poly{1, 2, 3}).reversed(), (Poly{3, 2, 1}));
+  EXPECT_TRUE(Poly{}.reversed().is_zero());
+  // Zero constant term: degree drops under reversal.
+  EXPECT_EQ((Poly{0, 1, 2}).reversed(), (Poly{2, 1}));
+}
+
+/// Sign of 3^deg * r(1/3) (exact; 1/3 is not dyadic).
+int sign_at_one_third(const Poly& r) {
+  BigInt acc;
+  const int d = r.degree();
+  for (int i = 0; i <= d; ++i) {
+    acc += r.coeff(static_cast<std::size_t>(i)) *
+           pow(BigInt(3), static_cast<unsigned>(d - i));
+  }
+  return acc.signum();
+}
+
+TEST(Reversed, MapsRootsToReciprocals) {
+  // roots 2 and 3 -> reversed has roots 1/2 and 1/3.
+  const Poly p = poly_from_integer_roots({2, 3});
+  const Poly r = p.reversed();
+  EXPECT_TRUE(r.eval_scaled(BigInt(1), 1).is_zero());  // r(1/2) == 0
+  EXPECT_EQ(sign_at_one_third(r), 0);
+}
+
+TEST(Compose, KnownCases) {
+  // (x^2)(x+1) composed: p = x^2, q = x+1 -> (x+1)^2.
+  EXPECT_EQ((Poly{0, 0, 1}).compose(Poly{1, 1}), (Poly{1, 2, 1}));
+  // p(q) with p linear: a*q + b.
+  EXPECT_EQ((Poly{3, 2}).compose(Poly{-1, 0, 5}), (Poly{1, 0, 10}));
+  // Composition with constants.
+  EXPECT_EQ((Poly{1, 1, 1}).compose(Poly{2}), (Poly{7}));
+  EXPECT_TRUE(Poly{}.compose(Poly{1, 1}).is_zero());
+  EXPECT_EQ((Poly{5}).compose(Poly{0, 9}), (Poly{5}));
+}
+
+TEST(Compose, AgreesWithPointEvaluation) {
+  Prng rng(91);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<BigInt> pc, qc;
+    for (int i = 0; i <= 3; ++i) pc.emplace_back(rng.range(-9, 9));
+    for (int i = 0; i <= 2; ++i) qc.emplace_back(rng.range(-9, 9));
+    const Poly p(std::move(pc)), q(std::move(qc));
+    const Poly comp = p.compose(q);
+    for (long long x = -3; x <= 3; ++x) {
+      EXPECT_EQ(comp.eval(BigInt(x)), p.eval(q.eval(BigInt(x))));
+    }
+  }
+}
+
+TEST(Compose, TaylorShiftIsCompositionWithXPlusC) {
+  const Poly p = wilkinson(7);
+  EXPECT_EQ(p.taylor_shift(BigInt(4)), p.compose(Poly{4, 1}));
+}
+
+TEST(Parse, RoundTripsToString) {
+  const char* cases[] = {
+      "x^3 - 2*x + 1", "3*x^2 + 5", "-x", "7", "x", "-x^4 + x^2 - 1",
+  };
+  for (const char* s : cases) {
+    const Poly p = Poly::parse(s);
+    EXPECT_EQ(Poly::parse(p.to_string()), p) << s;
+  }
+}
+
+TEST(Parse, AcceptsCompactForms) {
+  EXPECT_EQ(Poly::parse("3x^2+5"), (Poly{5, 0, 3}));
+  EXPECT_EQ(Poly::parse("  - x ^ 2 "), (Poly{0, 0, -1}));
+  EXPECT_EQ(Poly::parse("2*x"), (Poly{0, 2}));
+  EXPECT_EQ(Poly::parse("x+x"), (Poly{0, 2}));
+  EXPECT_EQ(Poly::parse("x - x"), Poly{});
+  EXPECT_EQ(Poly::parse("y^2 - 1", 'y'), (Poly{-1, 0, 1}));
+  EXPECT_EQ(Poly::parse("123456789012345678901234567890"),
+            Poly::constant(BigInt::from_decimal(
+                "123456789012345678901234567890")));
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW(Poly::parse(""), InvalidArgument);
+  EXPECT_THROW(Poly::parse("x +"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("* x"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("x y"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("x^"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("2 2"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("x^-2"), InvalidArgument);
+}
+
+TEST(Parse, RoundTripsRandomPolynomials) {
+  Prng rng(321);
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<BigInt> c;
+    const int deg = static_cast<int>(rng.below(8));
+    for (int i = 0; i <= deg; ++i) c.emplace_back(rng.range(-1000, 1000));
+    const Poly p(std::move(c));
+    if (p.is_zero()) continue;  // "0" is not produced by to_string terms
+    EXPECT_EQ(Poly::parse(p.to_string()), p) << p.to_string();
+  }
+}
+
+TEST(Parse, WorksWithFinder) {
+  const Poly p = Poly::parse("x^2 - 2");
+  EXPECT_EQ(p, (Poly{-2, 0, 1}));
+}
+
+}  // namespace
+}  // namespace pr

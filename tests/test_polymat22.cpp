@@ -1,0 +1,223 @@
+// The S_i / T_{i,j} matrix algebra of Section 2.1 (Eqs. 1-9) and the
+// structural claims of Theorem 1.
+#include "linalg/polymat22.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic_polys.hpp"
+#include "poly/squarefree.hpp"
+#include "poly/sturm.hpp"
+
+namespace pr {
+namespace {
+
+/// Reference: T_{i,j} = U_j * T_{i,j-1} / c_{j-1}^2 (sequential chain).
+PolyMat22 t_chain(const RemainderSequence& rs, int i, int j) {
+  PolyMat22 t = t_leaf(rs, i);
+  for (int k = i + 1; k <= j; ++k) {
+    const BigInt& cp = rs.c[static_cast<std::size_t>(k - 1)];
+    t = (u_matrix(rs, k) * t).divexact_scalar(cp * cp);
+  }
+  return t;
+}
+
+class PolyMat22Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p_ = poly_from_integer_roots({-9, -5, -2, 1, 4, 8, 13});
+    rs_ = compute_remainder_sequence(p_);
+  }
+  Poly p_;
+  RemainderSequence rs_;
+};
+
+TEST_F(PolyMat22Fixture, UMatrixShape) {
+  const PolyMat22 u = u_matrix(rs_, 3);
+  EXPECT_TRUE(u.at(0, 0).is_zero());
+  EXPECT_EQ(u.at(0, 1), Poly::constant(rs_.c[2] * rs_.c[2]));
+  EXPECT_EQ(u.at(1, 0), Poly::constant(-(rs_.c[3] * rs_.c[3])));
+  EXPECT_EQ(u.at(1, 1), rs_.Q[3]);
+}
+
+TEST_F(PolyMat22Fixture, LinearCombinationIdentity) {
+  // (F_j; F_{j+1}) = T_{1,j} (F_0; F_1): Eq. (3)-(4).
+  for (int j = 1; j <= rs_.n - 1; ++j) {
+    const PolyMat22 t = t_chain(rs_, 1, j);
+    EXPECT_EQ(t.at(0, 0) * rs_.F[0] + t.at(0, 1) * rs_.F[1],
+              rs_.F[static_cast<std::size_t>(j)]);
+    EXPECT_EQ(t.at(1, 0) * rs_.F[0] + t.at(1, 1) * rs_.F[1],
+              rs_.F[static_cast<std::size_t>(j) + 1]);
+  }
+}
+
+TEST_F(PolyMat22Fixture, CombineAgreesWithChainForEverySplit) {
+  // Eq. (9): T_{i,j} = T_{k+1,j} U_k T_{i,k-1} / (c_k^2 c_{k-1}^2).
+  for (int i = 1; i <= rs_.n - 1; ++i) {
+    for (int j = i + 1; j <= rs_.n - 1; ++j) {
+      const PolyMat22 ref = t_chain(rs_, i, j);
+      for (int k = i + 1; k <= j - 1; ++k) {
+        const PolyMat22 left = t_chain(rs_, i, k - 1);
+        const PolyMat22 right = t_chain(rs_, k + 1, j);
+        EXPECT_EQ(t_combine(right, left, rs_, k), ref)
+            << "i=" << i << " j=" << j << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_F(PolyMat22Fixture, Theorem1DegreesSignsAndRealRoots) {
+  for (int i = 1; i <= rs_.n - 1; ++i) {
+    for (int j = i; j <= rs_.n - 1; ++j) {
+      const Poly pij = t_chain(rs_, i, j).at(1, 1);
+      EXPECT_EQ(pij.degree(), j - i + 1);
+      EXPECT_GT(pij.leading().signum(), 0);
+      SturmChain sc(pij);
+      EXPECT_EQ(sc.distinct_real_roots(), pij.degree())
+          << "P_{" << i << "," << j << "} must have all-real distinct roots";
+    }
+  }
+}
+
+TEST_F(PolyMat22Fixture, AppendixEq54EntryStructure) {
+  // T_{i,j} = ((-P_{i+1,j-1}, P_{i,j-1}), (-P_{i+1,j}, P_{i,j})):
+  // cross-check entries of one T against the (2,2) entries of smaller Ts.
+  const int i = 2, j = 5;
+  const PolyMat22 t = t_chain(rs_, i, j);
+  EXPECT_EQ(t.at(1, 1), t_chain(rs_, i, j).at(1, 1));
+  EXPECT_EQ(t.at(0, 1), t_chain(rs_, i, j - 1).at(1, 1));
+  EXPECT_EQ(-t.at(1, 0), t_chain(rs_, i + 1, j).at(1, 1));
+  EXPECT_EQ(-t.at(0, 0), t_chain(rs_, i + 1, j - 1).at(1, 1));
+}
+
+TEST_F(PolyMat22Fixture, LeafEqualsQuotient) {
+  for (int i = 1; i <= rs_.n - 1; ++i) {
+    EXPECT_EQ(t_leaf(rs_, i).at(1, 1), rs_.Q[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(PolyMat22Fixture, ChildRootsInterleaveParent) {
+  // Theorem 1(ii) via Sturm counts: strictly between consecutive roots of
+  // P_{i,j} lies exactly one root of the pair (P_{i,k-1}, P_{k+1,j}).
+  const int i = 1, j = 6, k = 4;
+  const Poly parent = t_chain(rs_, i, j).at(1, 1);
+  const Poly left = t_chain(rs_, i, k - 1).at(1, 1);
+  const Poly right = t_chain(rs_, k + 1, j).at(1, 1);
+  const Poly pair = left * right;
+  SturmChain sp(parent);
+  SturmChain sc(pair);
+  // Count over a window sweep: in any prefix (-B, t], #pair roots is
+  // within one of #parent roots (interleaving).
+  const BigInt bound = BigInt(1) << 12;
+  for (long long t = -40; t <= 40; ++t) {
+    const int cp = sp.count_half_open(-bound, BigInt(t), 0);
+    const int cc = sc.count_half_open(-bound, BigInt(t), 0);
+    EXPECT_LE(cc, cp);
+    EXPECT_GE(cc + 1, cp) << "interleaving violated at t=" << t;
+  }
+}
+
+TEST_F(PolyMat22Fixture, AppendixEq67SplitIdentity) {
+  // Eq. (67): P_{k+1,j} = c_k^2 [ P_{i+1,j} P_{i,k-1} - P_{i,j} P_{i+1,k-1} ].
+  auto P = [&](int i, int j) -> Poly {
+    if (i > j) return Poly{1};  // Eq. 5 third case
+    return t_chain(rs_, i, j).at(1, 1);
+  };
+  // Restrict to splits where all four P's are genuine polynomials: the
+  // empty-range convention P = 1 (Eq. 5) carries a different constant
+  // normalization and the identity is only used with non-degenerate
+  // ranges in the Appendix-A proof.
+  for (int i = 1; i <= rs_.n - 3; ++i) {
+    for (int j = i + 3; j <= rs_.n - 1; ++j) {
+      for (int k = i + 2; k <= j - 1; ++k) {
+        const BigInt& ck = rs_.c[static_cast<std::size_t>(k)];
+        const Poly lhs = Poly::constant(ck * ck) *
+                         (P(i + 1, j) * P(i, k - 1) - P(i, j) * P(i + 1, k - 1));
+        // The identity holds up to the normalization of the chain; verify
+        // proportionality: lhs == c * P_{k+1,j} for a positive rational
+        // constant c, i.e. cross-multiplied leading coefficients match.
+        const Poly rhs = P(k + 1, j);
+        ASSERT_EQ(lhs.degree(), rhs.degree()) << i << "," << j << "," << k;
+        EXPECT_EQ(Poly::constant(rhs.leading()) * lhs,
+                  Poly::constant(lhs.leading()) * rhs)
+            << "Eq. 67 proportionality fails at i=" << i << " j=" << j
+            << " k=" << k;
+        EXPECT_GT(lhs.leading().signum() * rhs.leading().signum(), 0);
+      }
+    }
+  }
+}
+
+TEST(PolyMat22, Section23LiteralExtensionDegeneratesAtRoot) {
+  // DESIGN.md documents why this reproduction realizes the paper's Sec 2.3
+  // (repeated roots) as squarefree reduction: the sketch leaves the tree
+  // root undefined under the extended sequence.  This test pins the
+  // evidence: for p = (x-1)^2 the extension gives F_1 = Q_1 = 1, and the
+  // only natural completion of the S-product to the full range [1, n]
+  // (taking Q_n = 1, c_n = 1 as Eqs. 10-12 suggest) yields
+  // T(2,2) = 0 instead of the degree-n* = 1 polynomial Theorem 2 claims.
+  const Poly p = poly_from_integer_roots({1, 1});
+  const auto rs = compute_remainder_sequence(p);
+  ASSERT_TRUE(rs.extended());
+  ASSERT_EQ(rs.nstar, 1);
+  // Extended entries per Eqs. 10-12.
+  EXPECT_EQ(rs.F[1], (Poly{1}));
+  EXPECT_EQ(rs.Q[1], (Poly{1}));
+  EXPECT_TRUE(rs.F[2].is_zero());
+  // Natural completion: S_1 and "S_2" are both [[0,1],[-1,1]].
+  PolyMat22 s;
+  s.e[0][0] = Poly{};
+  s.e[0][1] = Poly{1};
+  s.e[1][0] = Poly{-1};
+  s.e[1][1] = Poly{1};
+  const PolyMat22 t = s * s;  // S_2 * S_1
+  EXPECT_TRUE(t.at(1, 1).is_zero())
+      << "the literal extension's P_{1,n} degenerates -- hence the "
+         "squarefree-reduction realization";
+  // ...whereas the squarefree part is exactly the degree-n* polynomial
+  // with the distinct roots that Theorem 2 describes.
+  EXPECT_EQ(squarefree_part(p), (Poly{-1, 1}));
+}
+
+TEST(PolyMat22Fixture2, ExtendedSequenceLeafMatricesStayConsistent) {
+  // Even under the extension, u_matrix/t_leaf remain well-defined for the
+  // extended region (entries built from the padded Q_i = 1, c_i = 1).
+  const Poly p = poly_from_integer_roots({1, 1, 2, 2, 2});
+  const auto rs = compute_remainder_sequence(p);
+  ASSERT_TRUE(rs.extended());
+  for (int k = rs.nstar; k <= rs.n - 1; ++k) {
+    const PolyMat22 u = u_matrix(rs, k);
+    EXPECT_EQ(u.at(1, 1), (Poly{1}));
+    EXPECT_EQ(u.at(1, 0), (Poly{-1}));
+  }
+}
+
+TEST(PolyMat22, MulEntryMatchesFullProduct) {
+  PolyMat22 a, b;
+  a.e[0][0] = Poly{1, 2};
+  a.e[0][1] = Poly{0, 0, 3};
+  a.e[1][0] = Poly{-1};
+  a.e[1][1] = Poly{5, -4};
+  b.e[0][0] = Poly{2};
+  b.e[0][1] = Poly{1, 1};
+  b.e[1][0] = Poly{0, 7};
+  b.e[1][1] = Poly{-3, 0, 1};
+  const PolyMat22 c = a * b;
+  for (int r = 0; r < 2; ++r) {
+    for (int col = 0; col < 2; ++col) {
+      EXPECT_EQ(c.at(r, col), PolyMat22::mul_entry(a, b, r, col));
+    }
+  }
+}
+
+TEST(PolyMat22, DivexactScalar) {
+  PolyMat22 a;
+  a.e[0][0] = Poly{4, 8};
+  a.e[1][1] = Poly{-12};
+  const PolyMat22 d = a.divexact_scalar(BigInt(4));
+  EXPECT_EQ(d.at(0, 0), (Poly{1, 2}));
+  EXPECT_EQ(d.at(1, 1), (Poly{-3}));
+  EXPECT_TRUE(d.at(0, 1).is_zero());
+}
+
+}  // namespace
+}  // namespace pr

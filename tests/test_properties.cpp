@@ -1,0 +1,180 @@
+// Parameterized property sweeps over degrees, coefficient sizes,
+// precisions, and seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/root_finder.hpp"
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "poly/sturm.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: for random characteristic polynomials, the finder returns
+// exactly n* cells, each containing the right number of roots (checked by
+// cfg.validate), across a (degree, mu, seed) grid.
+// ---------------------------------------------------------------------------
+using GridParam = std::tuple<int, std::size_t, std::uint64_t>;
+
+class CharPolyGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(CharPolyGrid, ValidatedRoots) {
+  const auto [n, mu, seed] = GetParam();
+  Prng rng(seed);
+  const auto input = paper_input(static_cast<std::size_t>(n), rng);
+  RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+  cfg.validate = true;  // Sturm-checks every cell
+  const auto rep = find_real_roots(input.poly, cfg);
+  EXPECT_EQ(static_cast<int>(rep.roots.size()), rep.distinct_roots);
+  EXPECT_TRUE(std::is_sorted(rep.roots.begin(), rep.roots.end()));
+  EXPECT_FALSE(rep.used_sturm_fallback);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesPrecisionsSeeds, CharPolyGrid,
+    ::testing::Combine(::testing::Values(4, 7, 11, 18, 26),
+                       ::testing::Values<std::size_t>(2, 14, 53, 107),
+                       ::testing::Values<std::uint64_t>(1, 2)));
+
+// ---------------------------------------------------------------------------
+// Property: random symmetric matrices with larger entries (bigger m).
+// ---------------------------------------------------------------------------
+class EntrySpanGrid
+    : public ::testing::TestWithParam<std::tuple<long long, int>> {};
+
+TEST_P(EntrySpanGrid, LargerCoefficientsStillValidate) {
+  const auto [span, n] = GetParam();
+  Prng rng(static_cast<std::uint64_t>(span * 1000 + n));
+  const IntMatrix a =
+      random_symmetric_matrix(static_cast<std::size_t>(n), -span, span, rng);
+  const Poly p = charpoly_berkowitz(a);
+  RootFinderConfig cfg;
+  cfg.mu_bits = 40;
+  cfg.validate = true;
+  const auto rep = find_real_roots(p, cfg);
+  EXPECT_EQ(static_cast<int>(rep.roots.size()), rep.distinct_roots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, EntrySpanGrid,
+                         ::testing::Combine(::testing::Values(1LL, 9LL,
+                                                              1000LL),
+                                            ::testing::Values(6, 13)));
+
+// ---------------------------------------------------------------------------
+// Property: clustered rational roots with varying denominators -- roots
+// closer than the output grid, equal approximations allowed, all cells
+// validated.
+// ---------------------------------------------------------------------------
+class ClusterGrid
+    : public ::testing::TestWithParam<std::tuple<long long, std::size_t>> {};
+
+TEST_P(ClusterGrid, DenseRootsValidate) {
+  const auto [denom, mu] = GetParam();
+  Prng rng(static_cast<std::uint64_t>(denom) * 31 + mu);
+  const Poly p = clustered_rational_roots(7, denom, 3, rng);
+  RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+  cfg.validate = true;
+  const auto rep = find_real_roots(p, cfg);
+  EXPECT_EQ(rep.roots.size(), 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Denominators, ClusterGrid,
+                         ::testing::Combine(::testing::Values(2LL, 64LL,
+                                                              4096LL),
+                                            ::testing::Values<std::size_t>(
+                                                1, 8, 30)));
+
+// ---------------------------------------------------------------------------
+// Property: Wilkinson polynomials across sizes and precisions -- exact
+// integer roots, exercising roots exactly on grid points at every mu.
+// ---------------------------------------------------------------------------
+class WilkinsonGrid
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(WilkinsonGrid, ExactIntegerRoots) {
+  const auto [n, mu] = GetParam();
+  RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+  const auto rep = find_real_roots(wilkinson(n), cfg);
+  ASSERT_EQ(rep.roots.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(rep.roots[static_cast<std::size_t>(i)],
+              BigInt(static_cast<long long>(i + 1)) << mu);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesPrecisions, WilkinsonGrid,
+                         ::testing::Combine(::testing::Values(2, 3, 6, 11,
+                                                              19),
+                                            ::testing::Values<std::size_t>(
+                                                0, 1, 16, 77)));
+
+// ---------------------------------------------------------------------------
+// Property: repeated-root inputs with random multiplicity patterns.
+// ---------------------------------------------------------------------------
+class MultiplicityPattern : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiplicityPattern, MultiplicitiesRecovered) {
+  Prng rng(GetParam());
+  std::vector<long long> distinct;
+  while (distinct.size() < 3) {
+    const long long v = rng.range(-9, 9);
+    if (std::find(distinct.begin(), distinct.end(), v) == distinct.end()) {
+      distinct.push_back(v);
+    }
+  }
+  std::sort(distinct.begin(), distinct.end());
+  std::vector<unsigned> mult;
+  Poly p{1};
+  for (long long r : distinct) {
+    const unsigned m = 1 + static_cast<unsigned>(rng.below(3));
+    mult.push_back(m);
+    for (unsigned k = 0; k < m; ++k) p *= Poly{-r, 1};
+  }
+  RootFinderConfig cfg;
+  cfg.mu_bits = 20;
+  const auto rep = find_real_roots(p, cfg);
+  ASSERT_EQ(rep.roots.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rep.roots[i], BigInt(distinct[i]) << 20);
+    EXPECT_EQ(rep.multiplicities[i], mult[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiplicityPattern,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+// ---------------------------------------------------------------------------
+// Property: the mu-approximation invariant itself.  For every returned
+// cell k, the polynomial changes sign (or vanishes) across
+// ((k-1)/2^mu, k/2^mu] -- verified directly without Sturm machinery.
+// ---------------------------------------------------------------------------
+class SignChangeCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignChangeCheck, EveryCellTouchesTheCurve) {
+  const int n = GetParam();
+  Prng rng(static_cast<std::uint64_t>(n) * 7919);
+  const auto input = paper_input(static_cast<std::size_t>(n), rng);
+  const std::size_t mu = 60;
+  RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+  const auto rep = find_real_roots(input.poly, cfg);
+  const SturmChain chain(input.poly);
+  for (const auto& k : rep.roots) {
+    EXPECT_GE(chain.count_half_open(k - BigInt(1), k, mu), 1)
+        << "cell " << k.to_decimal() << " contains no root";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SignChangeCheck,
+                         ::testing::Values(5, 10, 15, 21, 28));
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,118 @@
+#include "rational/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Rational, NormalizationInvariants) {
+  const Rational r(BigInt(6), BigInt(-8));
+  EXPECT_EQ(r.num().to_int64(), -3);
+  EXPECT_EQ(r.den().to_int64(), 4);
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-5)), Rational());
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-5)).den().to_int64(), 1);
+  EXPECT_THROW(Rational(BigInt(1), BigInt(0)), DivisionByZero);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational half(BigInt(1), BigInt(2));
+  const Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ(half + third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(half - third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half * third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half / third, Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(-half, Rational(BigInt(-1), BigInt(2)));
+  EXPECT_EQ((-half).abs(), half);
+  EXPECT_EQ(half.reciprocal(), Rational(2));
+  EXPECT_THROW(Rational().reciprocal(), DivisionByZero);
+  EXPECT_THROW(half / Rational(), DivisionByZero);
+}
+
+TEST(Rational, Comparisons) {
+  const Rational a(BigInt(1), BigInt(3));
+  const Rational b(BigInt(2), BigInt(5));
+  EXPECT_LT(a, b);
+  EXPECT_GT(Rational(1), b);
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational());
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).floor().to_int64(), 3);
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).ceil().to_int64(), 4);
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).floor().to_int64(), -4);
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).ceil().to_int64(), -3);
+  EXPECT_EQ(Rational(4).floor().to_int64(), 4);
+  EXPECT_EQ(Rational(4).ceil().to_int64(), 4);
+}
+
+TEST(Rational, DyadicAndToDouble) {
+  const Rational d = Rational::dyadic(BigInt(3), 2);  // 3/4
+  EXPECT_EQ(d, Rational(BigInt(3), BigInt(4)));
+  EXPECT_DOUBLE_EQ(d.to_double(), 0.75);
+  EXPECT_DOUBLE_EQ(Rational().to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(Rational(BigInt(-1), BigInt(3)).to_double(), -1.0 / 3.0);
+  // Big numerator over small denominator.
+  EXPECT_NEAR(Rational(BigInt::pow2(100), BigInt(3)).to_double(),
+              std::pow(2.0, 100) / 3.0, std::pow(2.0, 60));
+}
+
+TEST(Rational, Formatting) {
+  EXPECT_EQ(Rational(BigInt(1), BigInt(2)).to_string(), "1/2");
+  EXPECT_EQ(Rational(BigInt(-4), BigInt(2)).to_string(), "-2");
+  std::ostringstream os;
+  os << Rational(BigInt(5), BigInt(-10));
+  EXPECT_EQ(os.str(), "-1/2");
+}
+
+TEST(Rational, PolynomialEvaluation) {
+  // p = 2x^2 - 3x + 1 at x = 1/2: 2/4 - 3/2 + 1 = 0.
+  const Poly p{1, -3, 2};
+  EXPECT_TRUE(eval_at_rational(p, Rational(BigInt(1), BigInt(2))).is_zero());
+  EXPECT_EQ(eval_at_rational(p, Rational(BigInt(1), BigInt(3))),
+            Rational(BigInt(2), BigInt(9)));
+  EXPECT_TRUE(eval_at_rational(Poly{}, Rational(7)).is_zero());
+}
+
+TEST(Rational, LinearRoot) {
+  EXPECT_EQ(linear_root(Poly{-3, 2}), Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(linear_root(Poly{4, -6}), Rational(BigInt(2), BigInt(3)));
+  EXPECT_THROW(linear_root(Poly{1, 2, 3}), InvalidArgument);
+}
+
+TEST(Rational, RootEnclosure) {
+  const auto enc = root_enclosure(BigInt(5), 3);  // (4/8, 5/8]
+  EXPECT_EQ(enc.lo, Rational(BigInt(1), BigInt(2)));
+  EXPECT_EQ(enc.hi, Rational(BigInt(5), BigInt(8)));
+  EXPECT_EQ(enc.width(), Rational(BigInt(1), BigInt(8)));
+  EXPECT_EQ(enc.midpoint(), Rational(BigInt(9), BigInt(16)));
+}
+
+TEST(Rational, RandomizedFieldLaws) {
+  Prng rng(88);
+  auto rnd = [&] {
+    BigInt n(rng.range(-1000, 1000));
+    BigInt d(rng.range(1, 1000));
+    return Rational(std::move(n), std::move(d));
+  };
+  for (int i = 0; i < 200; ++i) {
+    const Rational a = rnd(), b = rnd(), c = rnd();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational());
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    EXPECT_LE(a.floor(), a.ceil());
+  }
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,103 @@
+#include "core/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/root_finder.hpp"
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Refine, MatchesDirectHighPrecisionRun) {
+  Prng rng(2026);
+  const auto input = paper_input(14, rng);
+  RootFinderConfig lo_cfg, hi_cfg;
+  lo_cfg.mu_bits = 8;
+  hi_cfg.mu_bits = 120;
+  const auto lo = find_real_roots(input.poly, lo_cfg);
+  const auto hi = find_real_roots(input.poly, hi_cfg);
+  const auto refined = refine_roots(input.poly, lo.roots, 8, 120);
+  EXPECT_EQ(refined, hi.roots);
+}
+
+TEST(Refine, IdentityWhenPrecisionUnchanged) {
+  const Poly p{-2, 0, 1};
+  RootFinderConfig cfg;
+  cfg.mu_bits = 30;
+  const auto rep = find_real_roots(p, cfg);
+  EXPECT_EQ(refine_root(p, rep.roots[1], 30, 30), rep.roots[1]);
+}
+
+TEST(Refine, ExactRootStaysExact) {
+  // Root exactly 3: cell at mu=4 is k = 48; refining to mu=10 gives 3072.
+  const Poly p = poly_from_integer_roots({3, 7});
+  EXPECT_EQ(refine_root(p, BigInt(3) << 4, 4, 10), BigInt(3) << 10);
+}
+
+TEST(Refine, SqrtTwoProgressively) {
+  const Poly p{-2, 0, 1};
+  RootFinderConfig cfg;
+  cfg.mu_bits = 4;
+  BigInt k = find_real_roots(p, cfg).roots[1];
+  std::size_t mu = 4;
+  for (std::size_t next : {16u, 64u, 256u}) {
+    k = refine_root(p, k, mu, next);
+    mu = next;
+    // (k-1)^2 < 2 * 2^(2mu) <= k^2.
+    EXPECT_LT((k - BigInt(1)) * (k - BigInt(1)), BigInt(2) << (2 * mu));
+    EXPECT_GE(k * k, BigInt(2) << (2 * mu));
+  }
+}
+
+TEST(Refine, RejectsBadArguments) {
+  const Poly p{-2, 0, 1};
+  EXPECT_THROW(refine_root(p, BigInt(1), 10, 5), InvalidArgument);
+  EXPECT_THROW(refine_root(Poly{3}, BigInt(1), 5, 10), InvalidArgument);
+  // A cell with no root: no sign change.
+  EXPECT_THROW(refine_root(p, BigInt(100) << 4, 4, 10), InvalidArgument);
+}
+
+TEST(Refine, AdjacentRootOnCellBoundary) {
+  // Roots at exactly 1 and just above 1: the cell of the second root has
+  // the first root sitting on its excluded left endpoint.
+  // p = (x - 1)(4096 x - 4097): roots 1 and 4097/4096 = 1 + 2^-12.
+  const Poly p = Poly{-1, 1} * Poly{-4097, 4096};
+  RootFinderConfig cfg;
+  cfg.mu_bits = 20;
+  const auto rep = find_real_roots(p, cfg);
+  ASSERT_EQ(rep.roots.size(), 2u);
+  EXPECT_EQ(rep.roots[0], BigInt(1) << 20);
+  // Refine the second root from a coarse cell: at mu = 0 both roots share
+  // cell (0, 1]... use mu = 13 where they are separated.
+  const BigInt k13 = refine_root(p, rep.roots[1], 20, 40);
+  // 2^40 * (1 + 2^-12) = 2^40 + 2^28.
+  EXPECT_EQ(k13, BigInt::pow2(40) + BigInt::pow2(28));
+}
+
+TEST(Refine, WorksWithAllSolverModes) {
+  const Poly p = wilkinson(8).derivative();  // irrational roots
+  RootFinderConfig cfg;
+  cfg.mu_bits = 6;
+  const auto rep = find_real_roots(p, cfg);
+  std::vector<BigInt> reference;
+  for (auto mode :
+       {IntervalSolverConfig::Mode::kHybrid,
+        IntervalSolverConfig::Mode::kBisectionNewton,
+        IntervalSolverConfig::Mode::kRegulaFalsi,
+        IntervalSolverConfig::Mode::kPureBisection}) {
+    IntervalSolverConfig scfg;
+    scfg.mode = mode;
+    const auto refined = refine_roots(p, rep.roots, 6, 90, scfg);
+    if (reference.empty()) {
+      reference = refined;
+    } else {
+      EXPECT_EQ(refined, reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pr

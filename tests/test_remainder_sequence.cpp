@@ -1,0 +1,145 @@
+#include "poly/remainder_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "poly/sturm.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(RemainderSequence, DegreesAndLeadingCoefficients) {
+  const Poly p = poly_from_integer_roots({-5, -2, 1, 4, 9, 13});
+  const auto rs = compute_remainder_sequence(p);
+  EXPECT_EQ(rs.n, 6);
+  EXPECT_EQ(rs.nstar, 6);
+  EXPECT_FALSE(rs.extended());
+  for (int i = 0; i <= 6; ++i) {
+    EXPECT_EQ(rs.F[static_cast<std::size_t>(i)].degree(), 6 - i);
+    if (i >= 1) {
+      EXPECT_EQ(rs.c[static_cast<std::size_t>(i)],
+                rs.F[static_cast<std::size_t>(i)].leading());
+    }
+  }
+  EXPECT_EQ(rs.c[0].to_int64(), 1) << "c_0 is the sign of lc(F_0)";
+}
+
+TEST(RemainderSequence, RecurrenceHoldsSymbolically) {
+  // F_{i+1} * c_{i-1}^2 == Q_i F_i - c_i^2 F_{i-1} for every i.
+  const Poly p = poly_from_integer_roots({-7, -3, 0, 2, 5, 8, 12});
+  const auto rs = compute_remainder_sequence(p);
+  for (int i = 1; i <= rs.n - 1; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const Poly lhs =
+        Poly::constant(rs.c[ui - 1] * rs.c[ui - 1]) * rs.F[ui + 1];
+    const Poly rhs = rs.Q[ui] * rs.F[ui] -
+                     Poly::constant(rs.c[ui] * rs.c[ui]) * rs.F[ui - 1];
+    EXPECT_EQ(lhs, rhs) << "iteration " << i;
+  }
+}
+
+TEST(RemainderSequence, QuotientsAreLinearWithPositiveLeading) {
+  const Poly p = poly_from_integer_roots({-9, -4, -1, 3, 6, 11, 15, 20});
+  const auto rs = compute_remainder_sequence(p);
+  for (int i = 1; i <= rs.n - 1; ++i) {
+    const Poly& q = rs.Q[static_cast<std::size_t>(i)];
+    EXPECT_EQ(q.degree(), 1);
+    EXPECT_GT(q.leading().signum(), 0)
+        << "Appendix A: Q_i has positive leading coefficient";
+  }
+}
+
+TEST(RemainderSequence, EachFiInterleavesPredecessor) {
+  // Theorem 1 (case j = n): F_i interleaves F_{i-1}; in particular every
+  // F_i has full real root count.
+  const Poly p = poly_from_integer_roots({-8, -2, 1, 5, 9, 14});
+  const auto rs = compute_remainder_sequence(p);
+  for (int i = 0; i <= rs.n - 1; ++i) {
+    const Poly& f = rs.F[static_cast<std::size_t>(i)];
+    if (f.degree() < 1) continue;
+    EXPECT_EQ(SturmChain(f).distinct_real_roots(), f.degree());
+  }
+}
+
+TEST(RemainderSequence, NegativeLeadingInput) {
+  const Poly p = BigInt(-1) * poly_from_integer_roots({-3, 2, 7});
+  const auto rs = compute_remainder_sequence(p);
+  EXPECT_EQ(rs.c[0].to_int64(), -1);
+  EXPECT_FALSE(rs.extended());
+  // Recurrence still exact.
+  const Poly lhs = Poly::constant(rs.c[0] * rs.c[0]) * rs.F[2];
+  const Poly rhs =
+      rs.Q[1] * rs.F[1] - Poly::constant(rs.c[1] * rs.c[1]) * rs.F[0];
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(RemainderSequence, RepeatedRootsExtendPerSection23) {
+  const Poly p = poly_from_integer_roots({1, 1, 2, 2, 2});
+  const auto rs = compute_remainder_sequence(p);
+  EXPECT_TRUE(rs.extended());
+  EXPECT_EQ(rs.nstar, 2);
+  // Footnote 2: F_{n*} ~ gcd(F_0, F_0').
+  EXPECT_EQ(rs.gcd_part, poly_from_integer_roots({1, 2, 2}));
+  // Eqs. 10-12.
+  for (int i = rs.nstar; i < rs.n; ++i) {
+    EXPECT_EQ(rs.F[static_cast<std::size_t>(i)], (Poly{1}));
+    EXPECT_EQ(rs.Q[static_cast<std::size_t>(i)], (Poly{1}));
+  }
+  EXPECT_TRUE(rs.F[static_cast<std::size_t>(rs.n)].is_zero());
+}
+
+TEST(RemainderSequence, PurePowerDetectsSingleDistinctRoot) {
+  const Poly p = poly_from_integer_roots({4, 4, 4});
+  const auto rs = compute_remainder_sequence(p);
+  EXPECT_TRUE(rs.extended());
+  EXPECT_EQ(rs.nstar, 1);
+  EXPECT_EQ(rs.gcd_part, poly_from_integer_roots({4, 4}));
+}
+
+TEST(RemainderSequence, NonNormalInputThrows) {
+  // x^4 + 1: F_1 = 4x^3, and F_2 = 4x * 4x^3 - 16(x^4+1) = -16 drops from
+  // degree 3 straight to degree 0 -- a non-normal sequence.  (The input
+  // has no real roots, but the sequence computation is purely algebraic.)
+  const Poly p{1, 0, 0, 0, 1};
+  EXPECT_THROW(compute_remainder_sequence(p), NonNormalSequence);
+}
+
+TEST(RemainderSequence, StepHelpersMatchFullComputation) {
+  const Poly p = poly_from_integer_roots({-6, -1, 3, 8, 13});
+  const auto rs = compute_remainder_sequence(p);
+  for (int i = 1; i <= rs.n - 1; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    BigInt q1, q0;
+    quotient_coeffs(rs.F[ui - 1], rs.F[ui], q1, q0);
+    EXPECT_EQ(q1, rs.Q[ui].coeff(1));
+    EXPECT_EQ(q0, rs.Q[ui].coeff(0));
+    const BigInt ci_sq = rs.c[ui] * rs.c[ui];
+    const BigInt cp_sq = rs.c[ui - 1] * rs.c[ui - 1];
+    for (int j = 0; j <= rs.n - i - 1; ++j) {
+      EXPECT_EQ(next_f_coeff(rs.F[ui - 1], rs.F[ui], q1, q0, ci_sq, cp_sq,
+                             static_cast<std::size_t>(j)),
+                rs.F[ui + 1].coeff(static_cast<std::size_t>(j)));
+    }
+  }
+}
+
+TEST(RemainderSequence, RandomCharPolysAreNormal) {
+  Prng rng(2024);
+  for (int iter = 0; iter < 10; ++iter) {
+    const auto input = paper_input(5 + rng.below(12), rng);
+    const auto rs = compute_remainder_sequence(input.poly);
+    EXPECT_FALSE(rs.extended())
+        << "random characteristic polynomials have distinct roots a.s.";
+  }
+}
+
+TEST(RemainderSequence, RejectsConstants) {
+  EXPECT_THROW(compute_remainder_sequence(Poly{3}), InvalidArgument);
+  EXPECT_THROW(compute_remainder_sequence(Poly{}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pr

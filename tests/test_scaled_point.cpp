@@ -1,0 +1,79 @@
+#include "core/scaled_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(ScaledPoint, CeilShift) {
+  EXPECT_EQ(ceil_shift(BigInt(8), 2).to_int64(), 2);
+  EXPECT_EQ(ceil_shift(BigInt(9), 2).to_int64(), 3);
+  EXPECT_EQ(ceil_shift(BigInt(-9), 2).to_int64(), -2);
+  EXPECT_EQ(ceil_shift(BigInt(-8), 2).to_int64(), -2);
+  EXPECT_EQ(ceil_shift(BigInt(0), 5).to_int64(), 0);
+  EXPECT_EQ(ceil_shift(BigInt(7), 0).to_int64(), 7);
+  EXPECT_EQ(ceil_shift(BigInt(1), 10).to_int64(), 1);
+}
+
+TEST(ScaledPoint, FloorShift) {
+  EXPECT_EQ(floor_shift(BigInt(8), 2).to_int64(), 2);
+  EXPECT_EQ(floor_shift(BigInt(9), 2).to_int64(), 2);
+  EXPECT_EQ(floor_shift(BigInt(-9), 2).to_int64(), -3);
+  EXPECT_EQ(floor_shift(BigInt(-8), 2).to_int64(), -2);
+  EXPECT_EQ(floor_shift(BigInt(-1), 10).to_int64(), -1);
+}
+
+TEST(ScaledPoint, FloorCeilRelation) {
+  Prng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    const BigInt a(rng.range(-100000, 100000));
+    const std::size_t k = rng.below(12);
+    const BigInt f = floor_shift(a, k);
+    const BigInt c = ceil_shift(a, k);
+    EXPECT_LE(f, c);
+    EXPECT_LE(c - f, BigInt(1));
+    EXPECT_LE(f << k, a);
+    EXPECT_GE(c << k, a);
+    // Exact when divisible.
+    if ((a - (f << k)).is_zero()) {
+      EXPECT_EQ(f, c);
+    }
+  }
+}
+
+TEST(ScaledPoint, Upscale) {
+  EXPECT_EQ(upscale(BigInt(3), 2, 5).to_int64(), 24);
+  EXPECT_EQ(upscale(BigInt(-1), 0, 3).to_int64(), -8);
+  EXPECT_EQ(upscale(BigInt(7), 4, 4).to_int64(), 7);
+  EXPECT_THROW(upscale(BigInt(1), 5, 2), InvalidArgument);
+}
+
+TEST(ScaledPoint, MuApprox) {
+  // 13/8 at mu=1: ceil(2 * 13/8) = ceil(3.25) = 4... value 13/2^3,
+  // 2^1 x = 13/4 -> ceil = 4.
+  EXPECT_EQ(mu_approx_of_scaled(BigInt(13), 3, 1).to_int64(), 4);
+  EXPECT_EQ(mu_approx_of_scaled(BigInt(-13), 3, 1).to_int64(), -3);
+  EXPECT_EQ(mu_approx_of_scaled(BigInt(13), 3, 3).to_int64(), 13);
+  EXPECT_THROW(mu_approx_of_scaled(BigInt(1), 2, 5), InvalidArgument);
+}
+
+TEST(ScaledPoint, ToStringRounding) {
+  EXPECT_EQ(scaled_to_string(BigInt(1), 1, 2), "0.50");
+  EXPECT_EQ(scaled_to_string(BigInt(-1), 1, 2), "-0.50");
+  EXPECT_EQ(scaled_to_string(BigInt(3), 2, 3), "0.750");
+  EXPECT_EQ(scaled_to_string(BigInt(10), 0, 1), "10.0");
+  // 1/3 is not representable; 1/2^20 * 349525 = 0.333333015...
+  EXPECT_EQ(scaled_to_string(BigInt(349525), 20, 4), "0.3333");
+}
+
+TEST(ScaledPoint, ToDouble) {
+  EXPECT_DOUBLE_EQ(scaled_to_double(BigInt(3), 1), 1.5);
+  EXPECT_DOUBLE_EQ(scaled_to_double(BigInt(-5), 2), -1.25);
+  EXPECT_DOUBLE_EQ(scaled_to_double(BigInt(0), 17), 0.0);
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+#include "bigint/bigint.hpp"
+#include "sched/task_graph.hpp"
+#include "sched/task_pool.hpp"
+#include "sched/trace.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+namespace {
+
+TEST(TaskGraph, AddAndEdges) {
+  TaskGraph g;
+  const TaskId a = g.add(TaskKind::kGeneric, 1, {});
+  const TaskId b = g.add(TaskKind::kGeneric, 2, {});
+  g.add_edge(a, b);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.task(a).dependents, std::vector<TaskId>{b});
+  EXPECT_EQ(g.task(b).num_deps, 1);
+  EXPECT_EQ(g.initial_tasks(), std::vector<TaskId>{a});
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TaskGraph, EdgeValidation) {
+  TaskGraph g;
+  const TaskId a = g.add(TaskKind::kGeneric, 0, {});
+  EXPECT_THROW(g.add_edge(a, a), InvalidArgument);
+  EXPECT_THROW(g.add_edge(a, 99), InvalidArgument);
+  EXPECT_THROW(g.add_edge(-1, a), InvalidArgument);
+}
+
+TEST(TaskGraph, CycleDetection) {
+  TaskGraph g;
+  const TaskId a = g.add(TaskKind::kGeneric, 0, {});
+  const TaskId b = g.add(TaskKind::kGeneric, 1, {});
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(g.validate(), InternalError);
+}
+
+TEST(TaskGraph, CriticalPathAndTotalCost) {
+  // Diamond: a -> {b, c} -> d with costs 1, 10, 2, 5.
+  TaskGraph g;
+  const TaskId a = g.add(TaskKind::kGeneric, 0, {});
+  const TaskId b = g.add(TaskKind::kGeneric, 1, {});
+  const TaskId c = g.add(TaskKind::kGeneric, 2, {});
+  const TaskId d = g.add(TaskKind::kGeneric, 3, {});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.task(a).cost = 1;
+  g.task(b).cost = 10;
+  g.task(c).cost = 2;
+  g.task(d).cost = 5;
+  EXPECT_EQ(g.total_cost(), 18u);
+  EXPECT_EQ(g.critical_path_cost(), 16u);  // a + b + d
+  EXPECT_EQ(g.critical_path_cost(1), 19u);
+}
+
+TEST(TaskPool, RunsEveryTaskOnce) {
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(g.add(TaskKind::kGeneric, i, [&runs] { ++runs; }));
+  }
+  // Chain dependencies 0 -> 1 -> ... -> 49 plus cross edges.
+  for (int i = 1; i < 50; ++i) g.add_edge(ids[i - 1], ids[i]);
+  for (int i = 0; i + 10 < 50; i += 7) g.add_edge(ids[i], ids[i + 10]);
+  TaskPool pool(1);
+  const auto stats = pool.run(g);
+  EXPECT_EQ(runs.load(), 50);
+  EXPECT_EQ(stats.tasks_run, 50u);
+}
+
+TEST(TaskPool, RespectsDependencyOrder) {
+  TaskGraph g;
+  std::vector<int> order;
+  std::mutex m;
+  const TaskId a = g.add(TaskKind::kGeneric, 0, [&] {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(0);
+  });
+  const TaskId b = g.add(TaskKind::kGeneric, 1, [&] {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(1);
+  });
+  const TaskId c = g.add(TaskKind::kGeneric, 2, [&] {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(2);
+  });
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  TaskPool pool(4);
+  pool.run(g);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(TaskPool, MultiThreadedStress) {
+  // Wide fan-out/fan-in graph run with several threads; verify the sum.
+  TaskGraph g;
+  constexpr int kWidth = 200;
+  std::vector<int> results(kWidth, 0);
+  const TaskId src = g.add(TaskKind::kGeneric, -1, {});
+  const TaskId sink = g.add(TaskKind::kGeneric, -2, {});
+  for (int i = 0; i < kWidth; ++i) {
+    const TaskId t = g.add(TaskKind::kGeneric, i, [&results, i] {
+      results[static_cast<std::size_t>(i)] = i * i;
+    });
+    g.add_edge(src, t);
+    g.add_edge(t, sink);
+  }
+  TaskPool pool(8);
+  pool.run(g);
+  long long sum = 0;
+  for (int v : results) sum += v;
+  EXPECT_EQ(sum, 200LL * 199 * 399 / 6);
+}
+
+TEST(TaskPool, RecordsBigIntCosts) {
+  TaskGraph g;
+  const TaskId cheap = g.add(TaskKind::kGeneric, 0, [] {
+    (void)(BigInt(3) * BigInt(5));
+  });
+  const TaskId costly = g.add(TaskKind::kGeneric, 1, [] {
+    (void)(BigInt::pow2(5000) * BigInt::pow2(5000));
+  });
+  TaskPool pool(1);
+  pool.run(g);
+  EXPECT_GT(g.task(costly).cost, g.task(cheap).cost);
+  EXPECT_GT(g.task(costly).cost, 5000u * 5000u);
+}
+
+TEST(TaskPool, PropagatesExceptions) {
+  TaskGraph g;
+  g.add(TaskKind::kGeneric, 0, [] { throw InvalidArgument("boom"); });
+  g.add(TaskKind::kGeneric, 1, {});
+  TaskPool pool(2);
+  EXPECT_THROW(pool.run(g), InvalidArgument);
+}
+
+TEST(TaskPool, RejectsZeroThreads) {
+  EXPECT_THROW(TaskPool(0), InvalidArgument);
+}
+
+TEST(Trace, FromGraphAndBreakdown) {
+  TaskGraph g;
+  const TaskId a = g.add(TaskKind::kSort, 3, {});
+  const TaskId b = g.add(TaskKind::kInterval, 3, {});
+  g.add_edge(a, b);
+  g.task(a).cost = 7;
+  g.task(b).cost = 9;
+  const TaskTrace tr = TaskTrace::from_graph(g);
+  EXPECT_EQ(tr.size(), 2u);
+  EXPECT_EQ(tr.total_cost(), 16u);
+  EXPECT_EQ(tr.critical_path(), 16u);
+  EXPECT_EQ(tr.tasks[0].kind, TaskKind::kSort);
+  const std::string breakdown = tr.cost_breakdown();
+  EXPECT_NE(breakdown.find("sort"), std::string::npos);
+  EXPECT_NE(breakdown.find("interval"), std::string::npos);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  TaskGraph g;
+  const TaskId a = g.add(TaskKind::kCoeff, 2, {});
+  const TaskId b = g.add(TaskKind::kQuotient, 4, {});
+  const TaskId c = g.add(TaskKind::kIterMark, 4, {});
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.task(a).cost = 11;
+  g.task(b).cost = 22;
+  g.task(c).cost = 0;
+  const TaskTrace tr = TaskTrace::from_graph(g);
+  std::stringstream ss;
+  tr.save(ss);
+  const TaskTrace back = TaskTrace::load(ss);
+  ASSERT_EQ(back.size(), tr.size());
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    EXPECT_EQ(back.tasks[i].cost, tr.tasks[i].cost);
+    EXPECT_EQ(back.tasks[i].kind, tr.tasks[i].kind);
+    EXPECT_EQ(back.tasks[i].tag, tr.tasks[i].tag);
+    EXPECT_EQ(back.tasks[i].num_deps, tr.tasks[i].num_deps);
+    EXPECT_EQ(back.tasks[i].dependents, tr.tasks[i].dependents);
+  }
+  EXPECT_EQ(back.total_cost(), 33u);
+}
+
+TEST(TaskPoolStealing, RunsEveryTaskOnce) {
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(g.add(TaskKind::kGeneric, i, [&runs] { ++runs; }));
+  }
+  for (int i = 1; i < 300; ++i) {
+    if (i % 3 != 0) g.add_edge(ids[static_cast<std::size_t>(i - 1)],
+                               ids[static_cast<std::size_t>(i)]);
+  }
+  TaskPool pool(4, PoolPolicy::kWorkStealing);
+  const auto stats = pool.run(g);
+  EXPECT_EQ(runs.load(), 300);
+  EXPECT_EQ(stats.tasks_run, 300u);
+}
+
+TEST(TaskPoolStealing, RespectsDependencies) {
+  TaskGraph g;
+  std::atomic<bool> first_done{false};
+  std::atomic<bool> order_ok{true};
+  const TaskId a = g.add(TaskKind::kGeneric, 0,
+                         [&] { first_done = true; });
+  const TaskId b = g.add(TaskKind::kGeneric, 1, [&] {
+    if (!first_done) order_ok = false;
+  });
+  g.add_edge(a, b);
+  TaskPool pool(4, PoolPolicy::kWorkStealing);
+  pool.run(g);
+  EXPECT_TRUE(order_ok);
+}
+
+TEST(TaskPoolStealing, PropagatesExceptions) {
+  TaskGraph g;
+  g.add(TaskKind::kGeneric, 0, [] { throw InvalidArgument("boom"); });
+  TaskPool pool(3, PoolPolicy::kWorkStealing);
+  EXPECT_THROW(pool.run(g), InvalidArgument);
+}
+
+TEST(TaskPoolStealing, SingleThreadWorks) {
+  TaskGraph g;
+  int count = 0;
+  const TaskId a = g.add(TaskKind::kGeneric, 0, [&] { ++count; });
+  const TaskId b = g.add(TaskKind::kGeneric, 1, [&] { ++count; });
+  g.add_edge(a, b);
+  TaskPool pool(1, PoolPolicy::kWorkStealing);
+  pool.run(g);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(TaskPoolStealing, StealsHappenUnderLoad) {
+  // A wide graph with imbalanced seeding: worker 0 gets everything
+  // initially, so others must steal.
+  TaskGraph g;
+  const TaskId src = g.add(TaskKind::kGeneric, -1, {});
+  for (int i = 0; i < 64; ++i) {
+    const TaskId t = g.add(TaskKind::kGeneric, i, [] {
+      // Slow enough (~ms) that the other workers wake up and steal even
+      // on a single-core host.
+      (void)(BigInt::pow2(40000) * BigInt::pow2(40000));
+    });
+    g.add_edge(src, t);
+  }
+  TaskPool pool(4, PoolPolicy::kWorkStealing);
+  const auto stats = pool.run(g);
+  EXPECT_EQ(stats.tasks_run, 65u);
+  // All fan-out tasks become ready on worker 0's deque at once; with 4
+  // workers some stealing is essentially certain.
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(Trace, DotExportHasNodesAndEdges) {
+  TaskGraph g;
+  const TaskId a = g.add(TaskKind::kQuotient, 3, {});
+  const TaskId b = g.add(TaskKind::kCoeff, 3, {});
+  g.add_edge(a, b);
+  g.task(a).cost = 5;
+  const TaskTrace tr = TaskTrace::from_graph(g);
+  std::stringstream ss;
+  tr.save_dot(ss);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("quotient 3"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+}
+
+TEST(Trace, LoadRejectsMalformedInput) {
+  std::stringstream ss("3\n1 0 0 0"); // truncated
+  EXPECT_THROW(TaskTrace::load(ss), InvalidArgument);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(task_kind_name(TaskKind::kSeed), "seed");
+  EXPECT_STREQ(task_kind_name(TaskKind::kMatEntry2), "matentry2");
+  EXPECT_STREQ(task_kind_name(TaskKind::kRootsMark), "rootsmark");
+}
+
+}  // namespace
+}  // namespace pr

@@ -1,0 +1,169 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pr {
+namespace {
+
+/// Builds a trace directly (no execution needed).
+TaskTrace make_trace(const std::vector<std::uint64_t>& costs,
+                     const std::vector<std::pair<int, int>>& edges) {
+  TaskTrace tr;
+  tr.tasks.resize(costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    tr.tasks[i].cost = costs[i];
+  }
+  for (auto [from, to] : edges) {
+    tr.tasks[static_cast<std::size_t>(from)].dependents.push_back(to);
+    tr.tasks[static_cast<std::size_t>(to)].num_deps += 1;
+  }
+  return tr;
+}
+
+TEST(Sim, SingleProcessorIsSerialSum) {
+  const TaskTrace tr = make_trace({5, 7, 11}, {});
+  const auto r = simulate_schedule(tr, {1, 0});
+  EXPECT_EQ(r.makespan, 23u);
+  EXPECT_EQ(r.total_work, 23u);
+  EXPECT_DOUBLE_EQ(r.utilization(), 1.0);
+}
+
+TEST(Sim, IndependentTasksParallelizePerfectly) {
+  const TaskTrace tr = make_trace({10, 10, 10, 10}, {});
+  EXPECT_EQ(simulate_schedule(tr, {4, 0}).makespan, 10u);
+  EXPECT_EQ(simulate_schedule(tr, {2, 0}).makespan, 20u);
+  EXPECT_EQ(simulate_schedule(tr, {8, 0}).makespan, 10u)
+      << "extra processors cannot help beyond the task count";
+}
+
+TEST(Sim, ChainIsCriticalPathBound) {
+  const TaskTrace tr =
+      make_trace({5, 5, 5}, {{0, 1}, {1, 2}});
+  for (int p : {1, 2, 8}) {
+    EXPECT_EQ(simulate_schedule(tr, {p, 0}).makespan, 15u);
+  }
+}
+
+TEST(Sim, DiamondSchedule) {
+  // a(2) -> b(10), c(3); b,c -> d(1).
+  const TaskTrace tr =
+      make_trace({2, 10, 3, 1}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(simulate_schedule(tr, {1, 0}).makespan, 16u);
+  EXPECT_EQ(simulate_schedule(tr, {2, 0}).makespan, 13u);  // 2 + 10 + 1
+  EXPECT_EQ(tr.critical_path(), 13u);
+}
+
+TEST(Sim, DispatchOverheadPenalizesFineGrain) {
+  // 100 unit tasks: with overhead 9, every task costs 10.
+  std::vector<std::uint64_t> costs(100, 1);
+  const TaskTrace tr = make_trace(costs, {});
+  EXPECT_EQ(simulate_schedule(tr, {1, 0}).makespan, 100u);
+  EXPECT_EQ(simulate_schedule(tr, {1, 9}).makespan, 1000u);
+  EXPECT_EQ(simulate_schedule(tr, {10, 9}).makespan, 100u);
+}
+
+TEST(Sim, FifoReadyQueueOrder) {
+  // Two ready tasks, one processor: the first-added runs first; a long
+  // second task then determines the makespan.
+  const TaskTrace tr = make_trace({1, 100}, {});
+  const auto r = simulate_schedule(tr, {1, 0});
+  EXPECT_EQ(r.makespan, 101u);
+}
+
+TEST(Sim, SpeedupsHelper) {
+  // 8 independent equal tasks: ideal speedups up to the task count.
+  std::vector<std::uint64_t> costs(8, 100);
+  const TaskTrace tr = make_trace(costs, {});
+  const auto sp = simulate_speedups(tr, {1, 2, 4, 8, 16});
+  ASSERT_EQ(sp.size(), 5u);
+  EXPECT_DOUBLE_EQ(sp[0], 1.0);
+  EXPECT_DOUBLE_EQ(sp[1], 2.0);
+  EXPECT_DOUBLE_EQ(sp[2], 4.0);
+  EXPECT_DOUBLE_EQ(sp[3], 8.0);
+  EXPECT_DOUBLE_EQ(sp[4], 8.0);
+}
+
+TEST(Sim, UtilizationDropsWithStragglers) {
+  // One long task and many short ones on 4 processors.
+  const TaskTrace tr = make_trace({1000, 1, 1, 1}, {});
+  const auto r = simulate_schedule(tr, {4, 0});
+  EXPECT_EQ(r.makespan, 1000u);
+  EXPECT_LT(r.utilization(), 0.3);
+}
+
+TEST(Sim, ZeroCostMarkersAreFine) {
+  const TaskTrace tr = make_trace({0, 5, 0}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(simulate_schedule(tr, {3, 0}).makespan, 5u);
+}
+
+TEST(Sim, EmptyTrace) {
+  const TaskTrace tr;
+  const auto r = simulate_schedule(tr, {4, 0});
+  EXPECT_EQ(r.makespan, 0u);
+  EXPECT_EQ(r.tasks, 0u);
+}
+
+TEST(Sim, RejectsBadProcessorCount) {
+  const TaskTrace tr = make_trace({1}, {});
+  EXPECT_THROW(simulate_schedule(tr, {0, 0}), InvalidArgument);
+}
+
+TEST(Sim, ParallelismProfileOfChain) {
+  const TaskTrace tr = make_trace({5, 5, 5}, {{0, 1}, {1, 2}});
+  const auto prof = parallelism_profile(tr);
+  EXPECT_EQ(prof.span, 15u);
+  EXPECT_EQ(prof.peak, 1u);
+  EXPECT_DOUBLE_EQ(prof.average, 1.0);
+  EXPECT_DOUBLE_EQ(prof.at_least[0], 1.0);  // >= 1 running always
+  EXPECT_DOUBLE_EQ(prof.at_least[1], 0.0);  // never 2 concurrent
+}
+
+TEST(Sim, ParallelismProfileOfFanOut) {
+  const TaskTrace tr = make_trace({10, 10, 10, 10}, {});
+  const auto prof = parallelism_profile(tr);
+  EXPECT_EQ(prof.span, 10u);
+  EXPECT_EQ(prof.peak, 4u);
+  EXPECT_DOUBLE_EQ(prof.average, 4.0);
+  EXPECT_DOUBLE_EQ(prof.at_least[2], 1.0);  // >= 4 the whole time
+}
+
+TEST(Sim, ParallelismProfileDiamond) {
+  const TaskTrace tr =
+      make_trace({2, 10, 3, 1}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const auto prof = parallelism_profile(tr);
+  EXPECT_EQ(prof.span, 13u);   // critical path
+  EXPECT_EQ(prof.peak, 2u);    // b and c overlap
+  // b runs 10, c runs 3 concurrently within b's window.
+  EXPECT_NEAR(prof.at_least[1], 3.0 / 13.0, 1e-12);
+}
+
+TEST(Sim, ParallelismProfileEmptyAndZeroCost) {
+  EXPECT_EQ(parallelism_profile(TaskTrace{}).span, 0u);
+  const TaskTrace tr = make_trace({0, 0}, {{0, 1}});
+  const auto prof = parallelism_profile(tr);
+  EXPECT_EQ(prof.span, 0u);
+  EXPECT_EQ(prof.peak, 0u);
+}
+
+TEST(Sim, GreedyNeverIdlesWithReadyWork) {
+  // Work conservation: makespan <= total/P + critical path (Graham bound).
+  const TaskTrace tr = make_trace(
+      {7, 3, 9, 2, 8, 4, 6, 1, 5, 10},
+      {{0, 2}, {0, 3}, {1, 4}, {2, 5}, {3, 5}, {4, 6}, {5, 7}, {6, 8}});
+  for (int p : {1, 2, 3, 4}) {
+    const auto r = simulate_schedule(tr, {p, 0});
+    const double bound = static_cast<double>(tr.total_cost()) / p +
+                         static_cast<double>(tr.critical_path());
+    EXPECT_LE(static_cast<double>(r.makespan), bound);
+    EXPECT_GE(r.makespan, tr.critical_path());
+    EXPECT_GE(r.makespan * static_cast<std::uint64_t>(p), tr.total_cost());
+  }
+}
+
+}  // namespace
+}  // namespace pr

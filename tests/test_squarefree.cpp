@@ -1,0 +1,111 @@
+#include "poly/squarefree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/classic_polys.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Squarefree, SquarefreeInputIsItsOwnDecomposition) {
+  const Poly p = poly_from_integer_roots({-2, 1, 5});
+  const auto f = squarefree_decompose(p);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].multiplicity, 1u);
+  EXPECT_EQ(f[0].factor, p);
+  EXPECT_EQ(squarefree_part(p), p);
+}
+
+TEST(Squarefree, SimpleSquare) {
+  const Poly p = poly_from_integer_roots({1, 1});
+  const auto f = squarefree_decompose(p);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].multiplicity, 2u);
+  EXPECT_EQ(f[0].factor, (Poly{-1, 1}));
+  EXPECT_EQ(squarefree_part(p), (Poly{-1, 1}));
+}
+
+TEST(Squarefree, MixedMultiplicities) {
+  // (x-1)^2 (x-2)^3 (x+4)
+  const Poly p = poly_from_integer_roots({1, 1, 2, 2, 2, -4});
+  const auto f = squarefree_decompose(p);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].multiplicity, 1u);
+  EXPECT_EQ(f[0].factor, (Poly{4, 1}));
+  EXPECT_EQ(f[1].multiplicity, 2u);
+  EXPECT_EQ(f[1].factor, (Poly{-1, 1}));
+  EXPECT_EQ(f[2].multiplicity, 3u);
+  EXPECT_EQ(f[2].factor, (Poly{-2, 1}));
+  EXPECT_EQ(squarefree_part(p), poly_from_integer_roots({1, 2, -4}));
+}
+
+TEST(Squarefree, HighMultiplicity) {
+  const Poly p = poly_from_integer_roots({3, 3, 3, 3, 3});
+  const auto f = squarefree_decompose(p);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].multiplicity, 5u);
+  EXPECT_EQ(f[0].factor, (Poly{-3, 1}));
+}
+
+TEST(Squarefree, ContentIsIgnored) {
+  const Poly p = BigInt(12) * poly_from_integer_roots({1, 1});
+  const auto f = squarefree_decompose(p);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].factor, (Poly{-1, 1}));
+  EXPECT_EQ(f[0].multiplicity, 2u);
+}
+
+TEST(Squarefree, ConstantsAndErrors) {
+  EXPECT_TRUE(squarefree_decompose(Poly{5}).empty());
+  EXPECT_THROW(squarefree_decompose(Poly{}), InvalidArgument);
+  EXPECT_THROW(squarefree_part(Poly{}), InvalidArgument);
+  EXPECT_EQ(squarefree_part(Poly{5}), (Poly{1}));
+}
+
+TEST(Squarefree, IrrationalSquareFactors) {
+  // (x^2 - 2)^2 (x^2 - 3)
+  const Poly p = Poly{-2, 0, 1} * Poly{-2, 0, 1} * Poly{-3, 0, 1};
+  const auto f = squarefree_decompose(p);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].multiplicity, 1u);
+  EXPECT_EQ(f[0].factor, (Poly{-3, 0, 1}));
+  EXPECT_EQ(f[1].multiplicity, 2u);
+  EXPECT_EQ(f[1].factor, (Poly{-2, 0, 1}));
+}
+
+TEST(Squarefree, RandomizedReconstruction) {
+  Prng rng(31);
+  for (int iter = 0; iter < 40; ++iter) {
+    // Build prod (x - a_i)^{m_i} with distinct a_i.
+    std::vector<long long> as;
+    while (as.size() < 3) {
+      const long long a = rng.range(-10, 10);
+      if (std::find(as.begin(), as.end(), a) == as.end()) as.push_back(a);
+    }
+    std::vector<unsigned> ms = {1 + static_cast<unsigned>(rng.below(3)),
+                                1 + static_cast<unsigned>(rng.below(3)),
+                                1 + static_cast<unsigned>(rng.below(3))};
+    Poly p{1};
+    for (std::size_t i = 0; i < as.size(); ++i) {
+      for (unsigned m = 0; m < ms[i]; ++m) p *= Poly{-as[i], 1};
+    }
+    const auto f = squarefree_decompose(p);
+    // Reassemble and compare with the primitive part.
+    Poly back{1};
+    unsigned total_deg = 0;
+    for (const auto& fac : f) {
+      for (unsigned m = 0; m < fac.multiplicity; ++m) back *= fac.factor;
+      total_deg += fac.multiplicity *
+                   static_cast<unsigned>(fac.factor.degree());
+    }
+    EXPECT_EQ(back.primitive_part(), p.primitive_part());
+    EXPECT_EQ(total_deg, static_cast<unsigned>(p.degree()));
+  }
+}
+
+}  // namespace
+}  // namespace pr

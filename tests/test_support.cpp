@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/text.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Prng, BelowIsInRangeAndCoversValues) {
+  Prng rng(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Prng, RangeIsInclusive) {
+  Prng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t v = rng.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    hit_lo |= v == -2;
+    hit_hi |= v == 2;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+  EXPECT_THROW(rng.range(3, 2), InvalidArgument);
+}
+
+TEST(Text, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Text, Pad) {
+  EXPECT_EQ(pad("ab", 5), "   ab");
+  EXPECT_EQ(pad("ab", -5), "ab   ");
+  EXPECT_EQ(pad("abcdef", 3), "abcdef");
+}
+
+TEST(Text, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+TEST(Text, TableRowsAlign) {
+  TextTable t({-4, 6});
+  EXPECT_EQ(t.row({"ab", "cd"}), "ab        cd");
+  EXPECT_EQ(t.rule().size(), 12u);
+  EXPECT_EQ(t.row({"ab"}), "ab          ");
+}
+
+TEST(Text, LsSlope) {
+  // y = 3x + 1 exactly.
+  EXPECT_NEAR(ls_slope({1, 2, 3, 4}, {4, 7, 10, 13}), 3.0, 1e-12);
+  EXPECT_THROW(ls_slope({1}, {2}), InvalidArgument);
+  EXPECT_THROW(ls_slope({1, 1}, {2, 3}), InvalidArgument);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeMonotoneTime) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  sw.restart();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+TEST(Errors, CheckHelpers) {
+  EXPECT_NO_THROW(check_internal(true, "ok"));
+  EXPECT_THROW(check_internal(false, "bad"), InternalError);
+  EXPECT_NO_THROW(check_arg(true, "ok"));
+  EXPECT_THROW(check_arg(false, "bad"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pr

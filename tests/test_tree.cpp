@@ -1,0 +1,170 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "core/tree_builder.hpp"
+#include "gen/classic_polys.hpp"
+#include "poly/sturm.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+namespace {
+
+TEST(Tree, SingleNode) {
+  Tree t(1);
+  EXPECT_EQ(t.nodes().size(), 1u);
+  const TreeNode& root = t.node(t.root_index());
+  EXPECT_EQ(root.i, 1);
+  EXPECT_EQ(root.j, 1);
+  EXPECT_TRUE(root.leaf());
+  EXPECT_TRUE(root.spine(1));
+}
+
+TEST(Tree, PerfectShapeForPowerOfTwoMinusOne) {
+  // n = 2^K - 1 gives the paper's perfect binary tree with K levels.
+  Tree t(7);
+  EXPECT_EQ(t.depth(), 3);
+  int leaves = 0, empties = 0;
+  for (const auto& nd : t.nodes()) {
+    leaves += nd.leaf();
+    empties += nd.empty();
+  }
+  EXPECT_EQ(leaves, 4);
+  EXPECT_EQ(empties, 0);
+  // Level l has 2^l nodes of length 2^(K-l) - 1.
+  std::map<int, std::vector<int>> lengths_by_level;
+  for (const auto& nd : t.nodes()) {
+    lengths_by_level[nd.level].push_back(nd.length());
+  }
+  EXPECT_EQ(lengths_by_level[0], (std::vector<int>{7}));
+  EXPECT_EQ(lengths_by_level[1].size(), 2u);
+  for (int len : lengths_by_level[1]) EXPECT_EQ(len, 3);
+  EXPECT_EQ(lengths_by_level[2].size(), 4u);
+  for (int len : lengths_by_level[2]) EXPECT_EQ(len, 1);
+}
+
+TEST(Tree, SplitConsumesOneIndex) {
+  for (int n : {2, 3, 5, 8, 13, 21}) {
+    Tree t(n);
+    for (const auto& nd : t.nodes()) {
+      if (nd.empty() || nd.leaf()) continue;
+      const TreeNode& l = t.node(nd.left);
+      const TreeNode& r = t.node(nd.right);
+      EXPECT_EQ(l.i, nd.i);
+      EXPECT_EQ(l.j, nd.split - 1);
+      EXPECT_EQ(r.i, nd.split + 1);
+      EXPECT_EQ(r.j, nd.j);
+      EXPECT_EQ(l.length() + r.length(), nd.length() - 1);
+      // Balance: children lengths differ by at most 1.
+      EXPECT_LE(std::abs(l.length() - r.length()), 1);
+    }
+  }
+}
+
+TEST(Tree, EveryIndexAppearsExactlyOnceAsLeafOrSplit) {
+  for (int n : {1, 2, 6, 15, 20}) {
+    Tree t(n);
+    std::set<int> used;
+    for (const auto& nd : t.nodes()) {
+      if (nd.empty()) continue;
+      if (nd.leaf()) {
+        EXPECT_TRUE(used.insert(nd.i).second);
+      } else {
+        EXPECT_TRUE(used.insert(nd.split).second);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(used.size()), n);
+    EXPECT_EQ(*used.begin(), 1);
+    EXPECT_EQ(*used.rbegin(), n);
+  }
+}
+
+TEST(Tree, PostorderListsChildrenFirst) {
+  Tree t(11);
+  std::vector<int> position(t.nodes().size());
+  const auto& order = t.postorder();
+  ASSERT_EQ(order.size(), t.nodes().size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (std::size_t idx = 0; idx < t.nodes().size(); ++idx) {
+    const auto& nd = t.nodes()[idx];
+    if (nd.left >= 0) {
+      EXPECT_LT(position[static_cast<std::size_t>(nd.left)],
+                position[idx]);
+      EXPECT_LT(position[static_cast<std::size_t>(nd.right)],
+                position[idx]);
+    }
+  }
+}
+
+TEST(Tree, SpineNodesAreRightmost) {
+  Tree t(12);
+  for (const auto& nd : t.nodes()) {
+    if (nd.spine(12)) {
+      // A spine node's right child (if any) is also spine.
+      if (nd.right >= 0) {
+        EXPECT_TRUE(t.node(nd.right).spine(12) || t.node(nd.right).empty());
+      }
+    }
+  }
+}
+
+TEST(Tree, RejectsNonPositiveDegree) {
+  EXPECT_THROW(Tree(0), InvalidArgument);
+  EXPECT_THROW(Tree(-3), InvalidArgument);
+}
+
+TEST(TreeBuilder, PolynomialsMatchTheorem1Degrees) {
+  const Poly p = poly_from_integer_roots({-11, -6, -2, 1, 3, 7, 12, 18});
+  const auto rs = compute_remainder_sequence(p);
+  Tree tree(p.degree());
+  for (int idx : tree.postorder()) compute_node_poly(tree, idx, rs);
+  for (const auto& nd : tree.nodes()) {
+    if (nd.empty()) {
+      EXPECT_EQ(nd.poly, (Poly{1}));
+      continue;
+    }
+    EXPECT_EQ(nd.poly.degree(), nd.length());
+    EXPECT_EQ(SturmChain(nd.poly).distinct_real_roots(), nd.length());
+  }
+  // Root carries F_0 itself.
+  EXPECT_EQ(tree.node(tree.root_index()).poly, p);
+}
+
+TEST(TreeBuilder, SpinePolynomialsAreRemainderSequence) {
+  const Poly p = poly_from_integer_roots({-4, -1, 2, 6, 9, 14});
+  const auto rs = compute_remainder_sequence(p);
+  Tree tree(p.degree());
+  for (int idx : tree.postorder()) compute_node_poly(tree, idx, rs);
+  for (const auto& nd : tree.nodes()) {
+    if (!nd.empty() && nd.j == p.degree()) {
+      EXPECT_EQ(nd.poly, rs.F[static_cast<std::size_t>(nd.i - 1)]);
+      EXPECT_FALSE(nd.has_t);
+    }
+  }
+}
+
+TEST(TreeBuilder, ChildRootCountsSumToParentMinusOne) {
+  const Poly p = poly_from_integer_roots({-11, -6, -2, 1, 3, 7, 12, 18, 25});
+  const auto rs = compute_remainder_sequence(p);
+  Tree tree(p.degree());
+  for (int idx : tree.postorder()) compute_node_poly(tree, idx, rs);
+  for (const auto& nd : tree.nodes()) {
+    if (nd.empty() || nd.leaf()) continue;
+    const int dl = tree.node(nd.left).empty()
+                       ? 0
+                       : tree.node(nd.left).poly.degree();
+    const int dr = tree.node(nd.right).empty()
+                       ? 0
+                       : tree.node(nd.right).poly.degree();
+    EXPECT_EQ(dl + dr, nd.poly.degree() - 1);
+  }
+}
+
+}  // namespace
+}  // namespace pr
