@@ -1,6 +1,7 @@
 // Core BigInt operations: construction, addition/subtraction, comparison,
-// shifts, gcd, pow.  Multiplication lives in bigint_mul.cpp, division in
-// bigint_div.cpp, string I/O in bigint_io.cpp.
+// shifts, fused shift-accumulate, gcd, pow.  Multiplication (and the fused
+// addmul/submul kernels) live in bigint_mul.cpp, division in bigint_div.cpp,
+// string I/O in bigint_io.cpp.
 #include "bigint/bigint.hpp"
 
 #include <algorithm>
@@ -14,6 +15,11 @@
 
 namespace pr {
 
+BigInt::Scratch& BigInt::tls_scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
 BigInt::BigInt(long long v) {
   if (v == 0) return;
   neg_ = v < 0;
@@ -21,173 +27,219 @@ BigInt::BigInt(long long v) {
   unsigned long long mag =
       neg_ ? ~static_cast<unsigned long long>(v) + 1ULL
            : static_cast<unsigned long long>(v);
-  limbs_.push_back(static_cast<Limb>(mag));
+  mag_.push_back(static_cast<Limb>(mag));
 }
 
 BigInt::BigInt(unsigned long long v) {
-  if (v != 0) limbs_.push_back(static_cast<Limb>(v));
+  if (v != 0) mag_.push_back(static_cast<Limb>(v));
 }
 
 BigInt BigInt::pow2(std::size_t k) {
   BigInt r;
-  r.limbs_.assign(k / 64 + 1, 0);
-  r.limbs_.back() = Limb{1} << (k % 64);
+  r.mag_.assign(k / 64 + 1, 0);
+  r.mag_[k / 64] = Limb{1} << (k % 64);
   return r;
 }
 
 void BigInt::trim() {
-  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) neg_ = false;
+  mag_.trim();
+  if (mag_.empty()) neg_ = false;
 }
 
-std::size_t BigInt::bit_length() const {
-  if (limbs_.empty()) return 0;
-  return 64 * (limbs_.size() - 1) +
-         (64 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
-}
+std::size_t BigInt::bit_length() const { return detail::store_bit_length(mag_); }
 
 bool BigInt::bit(std::size_t i) const {
   const std::size_t limb = i / 64;
-  if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 64)) & 1;
+  if (limb >= mag_.size()) return false;
+  return (mag_[limb] >> (i % 64)) & 1;
 }
 
 bool BigInt::fits_int64() const {
-  if (limbs_.size() > 1) return false;
-  if (limbs_.empty()) return true;
-  if (!neg_) return limbs_[0] <= 0x7fffffffffffffffULL;
-  return limbs_[0] <= 0x8000000000000000ULL;
+  if (mag_.size() > 1) return false;
+  if (mag_.empty()) return true;
+  if (!neg_) return mag_[0] <= 0x7fffffffffffffffULL;
+  return mag_[0] <= 0x8000000000000000ULL;
 }
 
 std::int64_t BigInt::to_int64() const {
   check_arg(fits_int64(), "BigInt::to_int64: value out of range");
-  if (limbs_.empty()) return 0;
-  if (!neg_) return static_cast<std::int64_t>(limbs_[0]);
-  return static_cast<std::int64_t>(~limbs_[0] + 1ULL);
+  if (mag_.empty()) return 0;
+  if (!neg_) return static_cast<std::int64_t>(mag_[0]);
+  return static_cast<std::int64_t>(~mag_[0] + 1ULL);
 }
 
 double BigInt::to_double() const {
   double r = 0;
-  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
-    r = r * 18446744073709551616.0 + static_cast<double>(*it);
+  for (std::size_t i = mag_.size(); i-- > 0;) {
+    r = r * 18446744073709551616.0 + static_cast<double>(mag_[i]);
   }
   return neg_ ? -r : r;
 }
 
-BigInt BigInt::operator-() const {
+BigInt BigInt::operator-() const& {
   BigInt r = *this;
-  if (!r.is_zero()) r.neg_ = !r.neg_;
+  r.negate();
   return r;
 }
 
-BigInt BigInt::abs() const {
+BigInt BigInt::operator-() && {
+  negate();
+  return std::move(*this);
+}
+
+BigInt BigInt::abs() const& {
   BigInt r = *this;
   r.neg_ = false;
   return r;
 }
 
-int BigInt::cmp_mag(const std::vector<Limb>& a, const std::vector<Limb>& b) {
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  for (std::size_t i = a.size(); i-- > 0;) {
+BigInt BigInt::abs() && {
+  neg_ = false;
+  return std::move(*this);
+}
+
+BigInt& BigInt::negate() {
+  if (!is_zero()) neg_ = !neg_;
+  return *this;
+}
+
+int BigInt::cmp_mag(const Limb* a, std::size_t an, const Limb* b,
+                    std::size_t bn) {
+  if (an != bn) return an < bn ? -1 : 1;
+  for (std::size_t i = an; i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
   }
   return 0;
 }
 
 int BigInt::cmp_abs(const BigInt& a, const BigInt& b) {
-  return cmp_mag(a.limbs_, b.limbs_);
+  return cmp_mag(a.mag_.data(), a.mag_.size(), b.mag_.data(), b.mag_.size());
 }
 
 std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
   if (a.neg_ != b.neg_)
     return a.neg_ ? std::strong_ordering::less : std::strong_ordering::greater;
-  const int c = BigInt::cmp_mag(a.limbs_, b.limbs_);
+  const int c = BigInt::cmp_abs(a, b);
   const int s = a.neg_ ? -c : c;
   if (s < 0) return std::strong_ordering::less;
   if (s > 0) return std::strong_ordering::greater;
   return std::strong_ordering::equal;
 }
 
-std::vector<BigInt::Limb> BigInt::add_mag(const std::vector<Limb>& a,
-                                          const std::vector<Limb>& b) {
-  const auto& big = a.size() >= b.size() ? a : b;
-  const auto& small = a.size() >= b.size() ? b : a;
-  std::vector<Limb> r(big.size() + 1, 0);
+// --- in-place magnitude primitives -----------------------------------------
+// All take a raw (pointer, length) span that must not alias this->mag_'s
+// storage: growing the store may move it.
+
+void BigInt::add_mag_inplace(const Limb* b, std::size_t bn) {
+  const std::size_t an = mag_.size();
+  if (bn > an) mag_.resize(bn);  // zero-fills the new high limbs
+  Limb* a = mag_.data();
+  const std::size_t n = mag_.size();
   unsigned __int128 carry = 0;
-  for (std::size_t i = 0; i < small.size(); ++i) {
-    carry += big[i];
-    carry += small[i];
-    r[i] = static_cast<Limb>(carry);
+  for (std::size_t i = 0; i < bn; ++i) {
+    carry += a[i];
+    carry += b[i];
+    a[i] = static_cast<Limb>(carry);
     carry >>= 64;
   }
-  for (std::size_t i = small.size(); i < big.size(); ++i) {
-    carry += big[i];
-    r[i] = static_cast<Limb>(carry);
+  for (std::size_t i = bn; carry != 0 && i < n; ++i) {
+    carry += a[i];
+    a[i] = static_cast<Limb>(carry);
     carry >>= 64;
   }
-  r[big.size()] = static_cast<Limb>(carry);
-  return r;
+  if (carry != 0) mag_.push_back(static_cast<Limb>(carry));
 }
 
-std::vector<BigInt::Limb> BigInt::sub_mag(const std::vector<Limb>& a,
-                                          const std::vector<Limb>& b) {
-  std::vector<Limb> r(a.size(), 0);
+void BigInt::sub_mag_inplace(const Limb* b, std::size_t bn) {
+  Limb* a = mag_.data();
   std::uint64_t borrow = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const Limb bi = i < b.size() ? b[i] : 0;
+  for (std::size_t i = 0; i < bn || borrow != 0; ++i) {
+    const Limb bi = i < bn ? b[i] : 0;
     const Limb ai = a[i];
     const Limb d1 = ai - bi;
-    const std::uint64_t borrow1 = ai < bi;
+    const std::uint64_t b1 = ai < bi;
     const Limb d2 = d1 - borrow;
-    const std::uint64_t borrow2 = d1 < borrow;
-    r[i] = d2;
-    borrow = borrow1 | borrow2;
+    const std::uint64_t b2 = d1 < borrow;
+    a[i] = d2;
+    borrow = b1 | b2;
   }
-  check_internal(borrow == 0, "BigInt::sub_mag: |a| < |b|");
-  return r;
+}
+
+void BigInt::rsub_mag_inplace(const Limb* b, std::size_t bn) {
+  const std::size_t an = mag_.size();
+  mag_.resize_for_overwrite(bn);  // |b| > |*this| implies bn >= an
+  Limb* a = mag_.data();
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < bn; ++i) {
+    const Limb ai = i < an ? a[i] : 0;
+    const Limb bi = b[i];
+    const Limb d1 = bi - ai;
+    const std::uint64_t b1 = bi < ai;
+    const Limb d2 = d1 - borrow;
+    const std::uint64_t b2 = d1 < borrow;
+    a[i] = d2;
+    borrow = b1 | b2;
+  }
+  check_internal(borrow == 0, "BigInt::rsub_mag_inplace: |b| < |*this|");
+}
+
+void BigInt::add_signed(const Limb* b, std::size_t bn, bool bneg) {
+  if (bn == 0) return;
+  if (mag_.empty()) {
+    mag_.assign_span(b, bn);
+    neg_ = bneg;
+    trim();
+    return;
+  }
+  if (neg_ == bneg) {
+    add_mag_inplace(b, bn);
+  } else {
+    const int c = cmp_mag(mag_.data(), mag_.size(), b, bn);
+    if (c == 0) {
+      mag_.clear();
+      neg_ = false;
+      return;
+    }
+    if (c > 0) {
+      sub_mag_inplace(b, bn);
+    } else {
+      rsub_mag_inplace(b, bn);
+      neg_ = bneg;
+    }
+  }
+  trim();
 }
 
 BigInt& BigInt::operator+=(const BigInt& o) {
   instr::on_add(bit_length(), o.bit_length());
-  if (neg_ == o.neg_) {
-    limbs_ = add_mag(limbs_, o.limbs_);
-  } else {
-    const int c = cmp_mag(limbs_, o.limbs_);
-    if (c == 0) {
-      limbs_.clear();
-      neg_ = false;
-      return *this;
+  if (this == &o) {
+    // a += a is a doubling: shift in place (no aliasing hazard).
+    if (!is_zero()) {
+      const std::size_t bits = bit_length();
+      mag_.resize(bits / 64 + 1);
+      Limb* p = mag_.data();
+      Limb carry = 0;
+      for (std::size_t i = 0; i < mag_.size(); ++i) {
+        const Limb next = p[i] >> 63;
+        p[i] = (p[i] << 1) | carry;
+        carry = next;
+      }
+      trim();
     }
-    if (c > 0) {
-      limbs_ = sub_mag(limbs_, o.limbs_);
-    } else {
-      limbs_ = sub_mag(o.limbs_, limbs_);
-      neg_ = o.neg_;
-    }
+    return *this;
   }
-  trim();
+  add_signed(o.mag_.data(), o.mag_.size(), o.neg_);
   return *this;
 }
 
 BigInt& BigInt::operator-=(const BigInt& o) {
   instr::on_add(bit_length(), o.bit_length());
-  if (neg_ != o.neg_) {
-    limbs_ = add_mag(limbs_, o.limbs_);
-  } else {
-    const int c = cmp_mag(limbs_, o.limbs_);
-    if (c == 0) {
-      limbs_.clear();
-      neg_ = false;
-      return *this;
-    }
-    if (c > 0) {
-      limbs_ = sub_mag(limbs_, o.limbs_);
-    } else {
-      limbs_ = sub_mag(o.limbs_, limbs_);
-      neg_ = !neg_;
-    }
+  if (this == &o) {
+    mag_.clear();
+    neg_ = false;
+    return *this;
   }
-  trim();
+  add_signed(o.mag_.data(), o.mag_.size(), !o.neg_);
   return *this;
 }
 
@@ -195,14 +247,19 @@ BigInt& BigInt::operator<<=(std::size_t k) {
   if (is_zero() || k == 0) return *this;
   const std::size_t limb_shift = k / 64;
   const std::size_t bit_shift = k % 64;
-  std::vector<Limb> r(limbs_.size() + limb_shift + 1, 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    r[i + limb_shift] |= limbs_[i] << bit_shift;
-    if (bit_shift != 0) {
-      r[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  const std::size_t an = mag_.size();
+  mag_.resize(an + limb_shift + 1);  // zero-fills the new high limbs
+  Limb* p = mag_.data();
+  if (bit_shift == 0) {
+    for (std::size_t i = an; i-- > 0;) p[i + limb_shift] = p[i];
+  } else {
+    // High-to-low so every source limb is read before it is overwritten.
+    for (std::size_t i = an; i-- > 0;) {
+      p[i + limb_shift + 1] |= p[i] >> (64 - bit_shift);
+      p[i + limb_shift] = p[i] << bit_shift;
     }
   }
-  limbs_ = std::move(r);
+  for (std::size_t i = 0; i < limb_shift; ++i) p[i] = 0;
   trim();
   return *this;
 }
@@ -211,32 +268,75 @@ BigInt& BigInt::operator>>=(std::size_t k) {
   if (is_zero() || k == 0) return *this;
   const std::size_t limb_shift = k / 64;
   const std::size_t bit_shift = k % 64;
-  if (limb_shift >= limbs_.size()) {
-    limbs_.clear();
+  const std::size_t an = mag_.size();
+  if (limb_shift >= an) {
+    mag_.clear();
     neg_ = false;
     return *this;
   }
-  std::vector<Limb> r(limbs_.size() - limb_shift, 0);
-  for (std::size_t i = 0; i < r.size(); ++i) {
-    r[i] = limbs_[i + limb_shift] >> bit_shift;
-    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
-      r[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  const std::size_t rn = an - limb_shift;
+  Limb* p = mag_.data();
+  // Low-to-high: the write index never exceeds the read index.
+  for (std::size_t i = 0; i < rn; ++i) {
+    Limb v = p[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < an) {
+      v |= p[i + limb_shift + 1] << (64 - bit_shift);
     }
+    p[i] = v;
   }
-  limbs_ = std::move(r);
+  mag_.resize_for_overwrite(rn);
   trim();
   return *this;
+}
+
+void BigInt::shl_mag(const Limb* a, std::size_t an, std::size_t k,
+                     detail::LimbStore& out) {
+  const std::size_t limb_shift = k / 64;
+  const std::size_t bit_shift = k % 64;
+  out.assign(an + limb_shift + 1, 0);
+  Limb* p = out.data();
+  for (std::size_t i = 0; i < an; ++i) {
+    p[i + limb_shift] |= a[i] << bit_shift;
+    if (bit_shift != 0) p[i + limb_shift + 1] |= a[i] >> (64 - bit_shift);
+  }
+  out.trim();
+}
+
+BigInt& BigInt::add_shifted_impl(const BigInt& b, std::size_t k, Scratch& s,
+                                 bool negate) {
+  // Matches the composed `*this += (b << k)`: one addition whose second
+  // operand has bit length bits(b) + k (shifts themselves are uncounted).
+  instr::on_add(bit_length(), b.is_zero() ? 0 : b.bit_length() + k);
+  if (b.is_zero()) return *this;
+  // Staging the shift in scratch also makes `a.add_shifted(a, k)` safe.
+  shl_mag(b.mag_.data(), b.mag_.size(), k, s.shift_);
+  add_signed(s.shift_.data(), s.shift_.size(), negate ? !b.neg_ : b.neg_);
+  return *this;
+}
+
+BigInt& BigInt::add_shifted(const BigInt& b, std::size_t k) {
+  return add_shifted_impl(b, k, tls_scratch(), false);
+}
+BigInt& BigInt::add_shifted(const BigInt& b, std::size_t k, Scratch& s) {
+  return add_shifted_impl(b, k, s, false);
+}
+BigInt& BigInt::sub_shifted(const BigInt& b, std::size_t k) {
+  return add_shifted_impl(b, k, tls_scratch(), true);
+}
+BigInt& BigInt::sub_shifted(const BigInt& b, std::size_t k, Scratch& s) {
+  return add_shifted_impl(b, k, s, true);
 }
 
 BigInt gcd(BigInt a, BigInt b) {
   a.neg_ = false;
   b.neg_ = false;
+  BigInt q, r;
   while (!b.is_zero()) {
-    BigInt q, r;
     BigInt::divmod(a, b, q, r);
-    a = std::move(b);
-    b = std::move(r);
+    a.mag_.swap(b.mag_);   // a <- b
+    b.mag_.swap(r.mag_);   // b <- r (buffers rotate, no allocation)
   }
+  a.neg_ = false;
   return a;
 }
 
@@ -251,7 +351,13 @@ BigInt pow(const BigInt& base, unsigned exp) {
   return result;
 }
 
-void BigInt::set_karatsuba_enabled(bool on) { detail::karatsuba_flag() = on; }
-bool BigInt::karatsuba_enabled() { return detail::karatsuba_flag(); }
+void BigInt::set_karatsuba_enabled(bool on) {
+  // Release pairs with the acquire load at multiplication sites; see the
+  // contract on detail::karatsuba_flag() in bigint_detail.hpp.
+  detail::karatsuba_flag().store(on, std::memory_order_release);
+}
+bool BigInt::karatsuba_enabled() {
+  return detail::karatsuba_flag().load(std::memory_order_acquire);
+}
 
 }  // namespace pr

@@ -3,10 +3,33 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
+#include <cstddef>
+
+#include "bigint/limb_store.hpp"
 
 namespace pr::detail {
 
 /// Global switch for the Karatsuba multiplier (defined in bigint_mul.cpp).
+///
+/// Memory-ordering contract: BigInt::set_karatsuba_enabled() writes with
+/// memory_order_release and multiplication sites read with
+/// memory_order_acquire.  The flag is a pure algorithm selector -- both
+/// multipliers produce identical limbs -- so the ordering is not needed for
+/// the arithmetic itself; acquire/release makes a toggle performed before
+/// dispatching work to TaskPool threads visible to those workers without
+/// relying on the pool's own synchronization (bench_ablation_karatsuba
+/// flips it between configurations while re-using a warm pool).  A worker
+/// observing a stale value mid-toggle would still compute correct products,
+/// but per-configuration instrumentation would blur; acquire/release plus
+/// the pool's queue synchronization rules that out.
 std::atomic<bool>& karatsuba_flag();
+
+/// Bit length of a trimmed limb store (0 for the empty/zero store).
+inline std::size_t store_bit_length(const LimbStore& v) {
+  if (v.empty()) return 0;
+  return 64 * (v.size() - 1) +
+         (64 - static_cast<std::size_t>(std::countl_zero(v.back())));
+}
 
 }  // namespace pr::detail

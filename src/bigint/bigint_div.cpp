@@ -1,8 +1,12 @@
 // BigInt division: Knuth's Algorithm D (TAOCP vol. 2, 4.3.1) on 64-bit
-// limbs, with a fast path for single-limb divisors.
+// limbs, with a fast path for single-limb divisors.  All intermediate
+// buffers (normalized dividend/divisor, quotient, remainder) live in a
+// BigInt::Scratch, so repeated division -- the gcd loop, the remainder
+// sequence -- stops allocating once the scratch is warm.
 #include <bit>
 
 #include "bigint/bigint.hpp"
+#include "bigint/bigint_detail.hpp"
 #include "instr/counters.hpp"
 #include "support/error.hpp"
 
@@ -11,65 +15,57 @@ namespace pr {
 namespace {
 
 using Limb = BigInt::Limb;
-using LimbVec = std::vector<Limb>;
 
-void trim_vec(LimbVec& v) {
-  while (!v.empty() && v.back() == 0) v.pop_back();
-}
-
-/// Divides `a` by the single limb `d`; returns quotient, sets `rem`.
-LimbVec div_by_limb(const LimbVec& a, Limb d, Limb& rem) {
-  LimbVec q(a.size(), 0);
-  unsigned __int128 r = 0;
-  for (std::size_t i = a.size(); i-- > 0;) {
-    r = (r << 64) | a[i];
-    q[i] = static_cast<Limb>(r / d);
-    r %= d;
+/// out = v << s (0 <= s < 64) with one extra limb of headroom (untrimmed).
+void shifted_left(const Limb* v, std::size_t n, unsigned s,
+                  pr::detail::LimbStore& out) {
+  out.assign(n + 1, 0);
+  Limb* p = out.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] |= v[i] << s;
+    if (s != 0) p[i + 1] = v[i] >> (64 - s);
   }
-  rem = static_cast<Limb>(r);
-  trim_vec(q);
-  return q;
-}
-
-/// Shifts `v` left by `s` bits (0 <= s < 64) into a fresh vector that has
-/// one extra limb of headroom.
-LimbVec shifted_left(const LimbVec& v, unsigned s) {
-  LimbVec r(v.size() + 1, 0);
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    r[i] |= v[i] << s;
-    if (s != 0) r[i + 1] = v[i] >> (64 - s);
-  }
-  return r;
 }
 
 }  // namespace
 
-void BigInt::divmod_mag(const std::vector<Limb>& a, const std::vector<Limb>& b,
-                        std::vector<Limb>& q, std::vector<Limb>& r) {
-  check_internal(!b.empty(), "divmod_mag: zero divisor");
-  if (cmp_mag(a, b) < 0) {
-    q.clear();
-    r = a;
+void BigInt::divmod_mag(const Limb* a, std::size_t an, const Limb* b,
+                        std::size_t bn, Scratch& s) {
+  check_internal(bn != 0, "divmod_mag: zero divisor");
+  if (cmp_mag(a, an, b, bn) < 0) {
+    s.q_.clear();
+    s.r_.assign_span(a, an);
     return;
   }
-  if (b.size() == 1) {
-    Limb rem = 0;
-    q = div_by_limb(a, b[0], rem);
-    r.clear();
-    if (rem != 0) r.push_back(rem);
+  if (bn == 1) {
+    const Limb d = b[0];
+    s.q_.resize_for_overwrite(an);
+    Limb* q = s.q_.data();
+    unsigned __int128 r = 0;
+    for (std::size_t i = an; i-- > 0;) {
+      r = (r << 64) | a[i];
+      q[i] = static_cast<Limb>(r / d);
+      r %= d;
+    }
+    s.q_.trim();
+    s.r_.clear();
+    if (r != 0) s.r_.push_back(static_cast<Limb>(r));
     return;
   }
 
   // Knuth Algorithm D.  Normalize so the top limb of v has its MSB set.
-  const unsigned s = static_cast<unsigned>(std::countl_zero(b.back()));
-  LimbVec u = shifted_left(a, s);                   // size a.size()+1
-  LimbVec v = shifted_left(b, s);
-  trim_vec(v);
-  const std::size_t n = v.size();
-  check_internal(n >= 2 && (v.back() >> 63) != 0, "divmod_mag: bad normalize");
-  const std::size_t m = u.size() - 1 - n;           // quotient has m+1 limbs
+  const unsigned sh = static_cast<unsigned>(std::countl_zero(b[bn - 1]));
+  shifted_left(a, an, sh, s.u_);  // size an + 1
+  shifted_left(b, bn, sh, s.v_);
+  s.v_.trim();
+  Limb* u = s.u_.data();
+  const Limb* v = s.v_.data();
+  const std::size_t n = s.v_.size();
+  check_internal(n >= 2 && (v[n - 1] >> 63) != 0, "divmod_mag: bad normalize");
+  const std::size_t m = s.u_.size() - 1 - n;  // quotient has m+1 limbs
 
-  q.assign(m + 1, 0);
+  s.q_.assign(m + 1, 0);
+  Limb* q = s.q_.data();
   const unsigned __int128 base = static_cast<unsigned __int128>(1) << 64;
   for (std::size_t j = m + 1; j-- > 0;) {
     // Estimate qhat from the top two limbs of the current window.
@@ -125,39 +121,55 @@ void BigInt::divmod_mag(const std::vector<Limb>& a, const std::vector<Limb>& b,
     q[j] = static_cast<Limb>(qhat);
   }
 
-  trim_vec(q);
-  // Remainder = u[0..n) >> s.
-  u.resize(n);
-  r.assign(n, 0);
+  s.q_.trim();
+  // Remainder = u[0..n) >> sh.
+  s.r_.resize_for_overwrite(n);
+  Limb* r = s.r_.data();
   for (std::size_t i = 0; i < n; ++i) {
-    r[i] = u[i] >> s;
-    if (s != 0 && i + 1 < n) r[i] |= u[i + 1] << (64 - s);
+    r[i] = u[i] >> sh;
+    if (sh != 0 && i + 1 < n) r[i] |= u[i + 1] << (64 - sh);
   }
-  trim_vec(r);
+  s.r_.trim();
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r,
+                    Scratch& s) {
+  if (b.is_zero()) throw DivisionByZero();
+  instr::on_div(a.bit_length(), b.bit_length());
+  // Signs are captured first: q or r may alias a or b (q and r must be
+  // distinct objects, as documented).
+  const bool aneg = a.neg_;
+  const bool bneg = b.neg_;
+  divmod_mag(a.mag_.data(), a.mag_.size(), b.mag_.data(), b.mag_.size(), s);
+  q.mag_.swap(s.q_);
+  r.mag_.swap(s.r_);
+  q.neg_ = !q.mag_.empty() && (aneg != bneg);
+  r.neg_ = !r.mag_.empty() && aneg;
 }
 
 void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
-  if (b.is_zero()) throw DivisionByZero();
-  instr::on_div(a.bit_length(), b.bit_length());
-  std::vector<Limb> qm, rm;
-  divmod_mag(a.limbs_, b.limbs_, qm, rm);
-  q.limbs_ = std::move(qm);
-  r.limbs_ = std::move(rm);
-  q.neg_ = !q.limbs_.empty() && (a.neg_ != b.neg_);
-  r.neg_ = !r.limbs_.empty() && a.neg_;
+  divmod(a, b, q, r, tls_scratch());
 }
 
 BigInt& BigInt::operator/=(const BigInt& o) {
-  BigInt q, r;
-  divmod(*this, o, q, r);
-  *this = std::move(q);
+  if (o.is_zero()) throw DivisionByZero();
+  instr::on_div(bit_length(), o.bit_length());
+  Scratch& s = tls_scratch();
+  const bool qneg = neg_ != o.neg_;
+  divmod_mag(mag_.data(), mag_.size(), o.mag_.data(), o.mag_.size(), s);
+  mag_.swap(s.q_);  // scratch keeps our old buffer; remainder stays warm
+  neg_ = !mag_.empty() && qneg;
   return *this;
 }
 
 BigInt& BigInt::operator%=(const BigInt& o) {
-  BigInt q, r;
-  divmod(*this, o, q, r);
-  *this = std::move(r);
+  if (o.is_zero()) throw DivisionByZero();
+  instr::on_div(bit_length(), o.bit_length());
+  Scratch& s = tls_scratch();
+  const bool aneg = neg_;
+  divmod_mag(mag_.data(), mag_.size(), o.mag_.data(), o.mag_.size(), s);
+  mag_.swap(s.r_);
+  neg_ = !mag_.empty() && aneg;
   return *this;
 }
 

@@ -1,5 +1,6 @@
-// BigInt string conversion.  Operates directly on limb vectors so that
-// I/O does not pollute the instrumentation counters.
+// BigInt string conversion.  Operates directly on the limb store so that
+// I/O does not pollute the arithmetic instrumentation counters (limb-buffer
+// allocations are still counted -- they are real).
 #include <array>
 #include <ostream>
 
@@ -11,33 +12,30 @@ namespace pr {
 namespace {
 
 using Limb = BigInt::Limb;
-using LimbVec = std::vector<Limb>;
 
 constexpr Limb kChunkBase = 10000000000000000000ULL;  // 10^19
 constexpr int kChunkDigits = 19;
 
-void trim_vec(LimbVec& v) {
-  while (!v.empty() && v.back() == 0) v.pop_back();
-}
-
 /// v /= d in place; returns the remainder.  No instrumentation.
-Limb div_limb_inplace(LimbVec& v, Limb d) {
+Limb div_limb_inplace(detail::LimbStore& v, Limb d) {
   unsigned __int128 r = 0;
+  Limb* p = v.data();
   for (std::size_t i = v.size(); i-- > 0;) {
-    r = (r << 64) | v[i];
-    v[i] = static_cast<Limb>(r / d);
+    r = (r << 64) | p[i];
+    p[i] = static_cast<Limb>(r / d);
     r %= d;
   }
-  trim_vec(v);
+  v.trim();
   return static_cast<Limb>(r);
 }
 
 /// v = v * m + a in place.  No instrumentation.
-void mul_add_inplace(LimbVec& v, Limb m, Limb a) {
+void mul_add_inplace(detail::LimbStore& v, Limb m, Limb a) {
   unsigned __int128 carry = a;
-  for (auto& limb : v) {
-    carry += static_cast<unsigned __int128>(limb) * m;
-    limb = static_cast<Limb>(carry);
+  Limb* p = v.data();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    carry += static_cast<unsigned __int128>(p[i]) * m;
+    p[i] = static_cast<Limb>(carry);
     carry >>= 64;
   }
   if (carry != 0) v.push_back(static_cast<Limb>(carry));
@@ -61,7 +59,7 @@ BigInt BigInt::from_decimal(std::string_view s) {
   auto flush = [&] {
     Limb scale = 1;
     for (int i = 0; i < chunk_len; ++i) scale *= 10;
-    mul_add_inplace(out.limbs_, scale, chunk);
+    mul_add_inplace(out.mag_, scale, chunk);
     chunk = 0;
     chunk_len = 0;
   };
@@ -73,14 +71,14 @@ BigInt BigInt::from_decimal(std::string_view s) {
     if (++chunk_len == kChunkDigits) flush();
   }
   if (chunk_len > 0) flush();
-  trim_vec(out.limbs_);
-  out.neg_ = neg && !out.limbs_.empty();
+  out.mag_.trim();
+  out.neg_ = neg && !out.mag_.empty();
   return out;
 }
 
 std::string BigInt::to_decimal() const {
   if (is_zero()) return "0";
-  LimbVec work = limbs_;
+  detail::LimbStore work = mag_;
   std::string out;
   while (!work.empty()) {
     Limb rem = div_limb_inplace(work, kChunkBase);
@@ -100,9 +98,9 @@ std::string BigInt::to_hex() const {
   if (is_zero()) return "0x0";
   static constexpr char kHex[] = "0123456789abcdef";
   std::string out;
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    Limb v = limbs_[i];
-    const int digits = (i + 1 == limbs_.size()) ? 0 : 16;
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    Limb v = mag_[i];
+    const int digits = (i + 1 == mag_.size()) ? 0 : 16;
     std::string part;
     while (v != 0) {
       part.insert(part.begin(), kHex[v & 0xf]);

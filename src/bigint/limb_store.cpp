@@ -1,0 +1,32 @@
+// Heap path of LimbStore.  Kept out of line so that the header-inlined
+// fast paths stay allocation-free and the instrumentation dependency is
+// confined to this translation unit.
+#include "bigint/limb_store.hpp"
+
+#include <new>
+
+#include "instr/counters.hpp"
+
+namespace pr::detail {
+
+std::uint64_t* alloc_limbs(std::size_t n) {
+  instr::on_limb_alloc(n);
+  return new std::uint64_t[n];
+}
+
+void free_limbs(std::uint64_t* p) noexcept { delete[] p; }
+
+void LimbStore::grow(std::size_t need) {
+  // Geometric growth so repeated accumulation into the same store (the
+  // fused-kernel pattern) settles into zero allocations.
+  std::size_t newcap = cap_ < 4 ? 4 : 2 * static_cast<std::size_t>(cap_);
+  if (newcap < need) newcap = need;
+  Limb* p = alloc_limbs(newcap);
+  const Limb* src = data();
+  for (std::size_t i = 0; i < size_; ++i) p[i] = src[i];
+  if (is_heap()) free_limbs(heap_);
+  heap_ = p;
+  cap_ = static_cast<std::uint32_t>(newcap);
+}
+
+}  // namespace pr::detail

@@ -1,0 +1,168 @@
+// Small-value-optimized limb storage for BigInt.
+//
+// The overwhelming majority of the values flowing through the paper's
+// pipeline -- early remainder-sequence coefficients, sieve/bisection
+// evaluation operands, 2x2 matrix entries -- fit in a single 64-bit limb.
+// LimbStore keeps one limb inline (the fmpz/GMP "small" layout) and only
+// touches the heap for magnitudes above 64 bits, so single-limb arithmetic
+// is completely allocation-free.
+//
+// Unlike std::vector, a LimbStore never releases capacity when it shrinks:
+// a buffer that once held a large magnitude is reused by later operations
+// on the same object, which is what makes the fused accumulation kernels
+// (BigInt::addmul and friends) allocation-free in steady state.
+//
+// Every heap (re)allocation is reported to the instrumentation layer via
+// detail::alloc_limbs(), attributed to the calling thread's current phase,
+// so the per-phase allocation counters of src/instr/ measure exactly the
+// buffer churn the paper's `mp` package never paid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace pr::detail {
+
+/// Allocates a limb buffer of `n` limbs (uninitialized) and records the
+/// allocation with the instrumentation layer.  Defined in limb_store.cpp.
+std::uint64_t* alloc_limbs(std::size_t n);
+/// Frees a buffer obtained from alloc_limbs.
+void free_limbs(std::uint64_t* p) noexcept;
+
+class LimbStore {
+ public:
+  using Limb = std::uint64_t;
+
+  LimbStore() noexcept : small_(0), size_(0), cap_(1) {}
+
+  ~LimbStore() {
+    if (is_heap()) free_limbs(heap_);
+  }
+
+  LimbStore(const LimbStore& o) : small_(0), size_(0), cap_(1) { *this = o; }
+
+  LimbStore(LimbStore&& o) noexcept : small_(0), size_(o.size_), cap_(o.cap_) {
+    if (o.is_heap()) {
+      heap_ = o.heap_;
+      o.cap_ = 1;
+      o.size_ = 0;
+      o.small_ = 0;
+    } else {
+      small_ = o.small_;
+      o.size_ = 0;
+    }
+  }
+
+  LimbStore& operator=(const LimbStore& o) {
+    if (this == &o) return *this;
+    resize_for_overwrite(o.size_);
+    const Limb* src = o.data();
+    Limb* dst = data();
+    for (std::size_t i = 0; i < size_; ++i) dst[i] = src[i];
+    return *this;
+  }
+
+  LimbStore& operator=(LimbStore&& o) noexcept {
+    if (this == &o) return *this;
+    if (is_heap()) free_limbs(heap_);
+    size_ = o.size_;
+    cap_ = o.cap_;
+    if (o.is_heap()) {
+      heap_ = o.heap_;
+      o.cap_ = 1;
+    } else {
+      small_ = o.small_;
+    }
+    o.size_ = 0;
+    o.small_ = 0;
+    return *this;
+  }
+
+  void swap(LimbStore& o) noexcept {
+    LimbStore t(std::move(*this));
+    *this = std::move(o);
+    o = std::move(t);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool is_heap() const { return cap_ > 1; }
+
+  const Limb* data() const { return is_heap() ? heap_ : &small_; }
+  Limb* data() { return is_heap() ? heap_ : &small_; }
+
+  Limb operator[](std::size_t i) const { return data()[i]; }
+  Limb& operator[](std::size_t i) { return data()[i]; }
+  Limb back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  /// Grows capacity to at least `n` limbs, preserving contents.
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  /// Sets the size to `n`; new slots (beyond the old size) are zeroed,
+  /// existing limbs are preserved.  Shrinking never releases capacity.
+  void resize(std::size_t n) {
+    reserve(n);
+    Limb* p = data();
+    for (std::size_t i = size_; i < n; ++i) p[i] = 0;
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  /// Sets the size to `n` without zero-filling new slots (they hold
+  /// garbage); for callers that overwrite the whole range.
+  void resize_for_overwrite(std::size_t n) {
+    reserve(n);
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void assign(std::size_t n, Limb v) {
+    resize_for_overwrite(n);
+    Limb* p = data();
+    for (std::size_t i = 0; i < n; ++i) p[i] = v;
+  }
+
+  void assign_span(const Limb* src, std::size_t n) {
+    resize_for_overwrite(n);
+    Limb* p = data();
+    for (std::size_t i = 0; i < n; ++i) p[i] = src[i];
+  }
+
+  void push_back(Limb v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data()[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  /// Drops leading (most-significant) zero limbs.
+  void trim() {
+    const Limb* p = data();
+    while (size_ != 0 && p[size_ - 1] == 0) --size_;
+  }
+
+  friend bool operator==(const LimbStore& a, const LimbStore& b) {
+    if (a.size_ != b.size_) return false;
+    const Limb* pa = a.data();
+    const Limb* pb = b.data();
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  union {
+    Limb small_;   // active iff cap_ == 1 (the inline single-limb fast path)
+    Limb* heap_;   // active iff cap_ > 1
+  };
+  std::uint32_t size_;
+  std::uint32_t cap_;
+
+  void grow(std::size_t need);  // limb_store.cpp
+};
+
+}  // namespace pr::detail

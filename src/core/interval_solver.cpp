@@ -198,7 +198,11 @@ BigInt solve_isolated_interval(const Poly& p, const BigInt& lo,
       BigInt x;
       bool use_bisect = denom.is_zero();
       if (!use_bisect) {
-        x = (a * fb - b * fa) / denom;
+        // x = (a*fb - b*fa) / denom, fused: the cross product accumulates
+        // in place and the quotient reuses the same buffer.
+        x = a * fb;
+        x.submul(b, fa);
+        x /= denom;
         if (!(x > a && x < b)) use_bisect = true;
       }
       if (use_bisect) {
@@ -211,12 +215,12 @@ BigInt solve_isolated_interval(const Poly& p, const BigInt& lo,
       if (fx.signum() == sa) {
         a = x;
         fa = fx;
-        if (last_side == -1) fb = fb >> 1;  // Illinois halving
+        if (last_side == -1) fb >>= 1;  // Illinois halving
         last_side = -1;
       } else {
         b = x;
         fb = fx;
-        if (last_side == 1) fa = fa >> 1;
+        if (last_side == 1) fa >>= 1;
         last_side = 1;
       }
     }

@@ -12,8 +12,12 @@ BigInt refine_root(const Poly& p, const BigInt& k, std::size_t mu_from,
   check_arg(mu_to >= mu_from, "refine_root: mu_to must be >= mu_from");
   check_arg(p.degree() >= 1, "refine_root: non-constant polynomial required");
   const std::size_t d = mu_to - mu_from;
-  const BigInt lo = (k - BigInt(1)) << d;
-  const BigInt hi = k << d;
+  // Build both endpoints in place (one buffer each, no expression temps).
+  BigInt lo = k;
+  lo -= BigInt(1);
+  lo <<= d;
+  BigInt hi = k;
+  hi <<= d;
   if (d == 0) return k;
 
   // Exact hit at the cell's right end?

@@ -8,10 +8,12 @@ namespace pr {
 
 BigInt ceil_shift(const BigInt& a, std::size_t k) {
   if (k == 0) return a;
-  BigInt q = a >> k;  // magnitude shift truncates toward zero
+  BigInt q = a;
+  q >>= k;  // magnitude shift truncates toward zero
   if (!a.negative()) {
     // q = floor for non-negative a; bump if any dropped bit was set.
-    BigInt back = q << k;
+    BigInt back = q;
+    back <<= k;
     if (back < a) q += BigInt(1);
   }
   return q;
@@ -19,9 +21,11 @@ BigInt ceil_shift(const BigInt& a, std::size_t k) {
 
 BigInt floor_shift(const BigInt& a, std::size_t k) {
   if (k == 0) return a;
-  BigInt q = a >> k;
+  BigInt q = a;
+  q >>= k;
   if (a.negative()) {
-    BigInt back = q << k;
+    BigInt back = q;
+    back <<= k;
     if (back > a) q -= BigInt(1);
   }
   return q;

@@ -66,6 +66,8 @@ OpCounts& OpCounts::operator+=(const OpCounts& o) {
   mul_bits += o.mul_bits;
   div_bits += o.div_bits;
   add_bits += o.add_bits;
+  alloc_count += o.alloc_count;
+  alloc_limbs += o.alloc_limbs;
   return *this;
 }
 
@@ -77,6 +79,8 @@ OpCounts OpCounts::operator-(const OpCounts& o) const {
   r.mul_bits = mul_bits - o.mul_bits;
   r.div_bits = div_bits - o.div_bits;
   r.add_bits = add_bits - o.add_bits;
+  r.alloc_count = alloc_count - o.alloc_count;
+  r.alloc_limbs = alloc_limbs - o.alloc_limbs;
   return r;
 }
 
@@ -127,6 +131,14 @@ void on_add(std::size_t abits, std::size_t bbits) {
   blk.total_bits += cost;
 }
 
+void on_limb_alloc(std::size_t limbs) {
+  auto& c = local_block().counts[current_phase()];
+  c.alloc_count += 1;
+  c.alloc_limbs += limbs;
+  // Intentionally no total_bits contribution: allocations are not part of
+  // the paper's arithmetic cost model and must not perturb DES task costs.
+}
+
 const PhaseCounts& thread_counts() { return local_block().counts; }
 
 std::uint64_t thread_bit_cost() { return local_block().total_bits; }
@@ -147,22 +159,28 @@ void reset_all() {
 }
 
 std::string format(const PhaseCounts& c) {
-  TextTable table({-12, 14, 14, 14, 20});
+  TextTable table({-12, 14, 14, 14, 20, 12});
   std::ostringstream os;
-  os << table.row({"phase", "muls", "divs", "adds", "bit-cost"}) << '\n'
+  os << table.row({"phase", "muls", "divs", "adds", "bit-cost", "allocs"})
+     << '\n'
      << table.rule() << '\n';
   for (std::size_t i = 0; i < kNumPhases; ++i) {
     const auto& p = c.by_phase[i];
-    if (p.mul_count == 0 && p.div_count == 0 && p.add_count == 0) continue;
+    if (p.mul_count == 0 && p.div_count == 0 && p.add_count == 0 &&
+        p.alloc_count == 0) {
+      continue;
+    }
     os << table.row({phase_name(static_cast<Phase>(i)),
                      with_commas(p.mul_count), with_commas(p.div_count),
-                     with_commas(p.add_count), with_commas(p.bit_cost())})
+                     with_commas(p.add_count), with_commas(p.bit_cost()),
+                     with_commas(p.alloc_count)})
        << '\n';
   }
   const auto t = c.total();
   os << table.rule() << '\n'
      << table.row({"total", with_commas(t.mul_count), with_commas(t.div_count),
-                   with_commas(t.add_count), with_commas(t.bit_cost())})
+                   with_commas(t.add_count), with_commas(t.bit_cost()),
+                   with_commas(t.alloc_count)})
      << '\n';
   return os.str();
 }

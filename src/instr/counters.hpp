@@ -55,8 +55,17 @@ struct OpCounts {
   std::uint64_t mul_bits = 0;
   std::uint64_t div_bits = 0;
   std::uint64_t add_bits = 0;
+  /// Limb-buffer heap (re)allocations performed by BigInt storage, and the
+  /// total limbs allocated.  This measures implementation overhead the
+  /// paper's cost model does not charge for, so it is deliberately NOT part
+  /// of bit_cost() -- it exists to make allocation churn visible per phase
+  /// (see bench_micro).
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_limbs = 0;
 
   /// Total bit cost across operation kinds; the simulator's work unit.
+  /// Allocation counters are excluded: they are a memory-system diagnostic,
+  /// not part of the paper's arithmetic cost model.
   std::uint64_t bit_cost() const { return mul_bits + div_bits + add_bits; }
 
   OpCounts& operator+=(const OpCounts& o);
@@ -85,6 +94,9 @@ void on_mul(std::size_t abits, std::size_t bbits);
 void on_div(std::size_t abits, std::size_t bbits);
 /// Records one addition/subtraction with operand bit lengths a and b.
 void on_add(std::size_t abits, std::size_t bbits);
+/// Records one limb-buffer heap allocation of `limbs` limbs (called by
+/// BigInt's storage layer; does not contribute to bit_cost()).
+void on_limb_alloc(std::size_t limbs);
 
 /// This thread's counters (live view).
 const PhaseCounts& thread_counts();

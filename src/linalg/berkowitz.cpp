@@ -29,7 +29,7 @@ Poly charpoly_berkowitz(const IntMatrix& a) {
       BigInt dot;
       for (std::size_t i = 0; i < m; ++i) {
         if (!a.at(m, i).is_zero() && !v[i].is_zero()) {
-          dot += a.at(m, i) * v[i];
+          dot.addmul(a.at(m, i), v[i]);
         }
       }
       t[k + 2] = -dot;
@@ -40,7 +40,7 @@ Poly charpoly_berkowitz(const IntMatrix& a) {
           BigInt acc;
           for (std::size_t j = 0; j < m; ++j) {
             if (!a.at(i, j).is_zero() && !v[j].is_zero()) {
-              acc += a.at(i, j) * v[j];
+              acc.addmul(a.at(i, j), v[j]);
             }
           }
           nv[i] = std::move(acc);
@@ -55,7 +55,7 @@ Poly charpoly_berkowitz(const IntMatrix& a) {
     for (std::size_t i = 0; i <= r; ++i) {
       BigInt acc;
       for (std::size_t j = 0; j < r && j <= i; ++j) {
-        if (!t[i - j].is_zero() && !C[j].is_zero()) acc += t[i - j] * C[j];
+        if (!t[i - j].is_zero() && !C[j].is_zero()) acc.addmul(t[i - j], C[j]);
       }
       next[i] = std::move(acc);
     }

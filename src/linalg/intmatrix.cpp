@@ -10,7 +10,7 @@ std::vector<BigInt> IntMatrix::apply(const std::vector<BigInt>& v) const {
   for (std::size_t i = 0; i < n_; ++i) {
     BigInt acc;
     for (std::size_t j = 0; j < n_; ++j) {
-      if (!at(i, j).is_zero() && !v[j].is_zero()) acc += at(i, j) * v[j];
+      if (!at(i, j).is_zero() && !v[j].is_zero()) acc.addmul(at(i, j), v[j]);
     }
     out[i] = std::move(acc);
   }
@@ -32,7 +32,7 @@ IntMatrix operator*(const IntMatrix& a, const IntMatrix& b) {
       if (aik.is_zero()) continue;
       for (std::size_t j = 0; j < a.n_; ++j) {
         if (b.at(k, j).is_zero()) continue;
-        r.at(i, j) += aik * b.at(k, j);
+        r.at(i, j).addmul(aik, b.at(k, j));
       }
     }
   }

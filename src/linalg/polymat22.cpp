@@ -35,7 +35,13 @@ PolyMat22 PolyMat22::divexact_scalar(const BigInt& s) const {
 
 Poly PolyMat22::mul_entry(const PolyMat22& a, const PolyMat22& b, int r,
                           int c) {
-  return a.e[r][0] * b.e[0][c] + a.e[r][1] * b.e[1][c];
+  // Fused inner product: the second term accumulates into the first
+  // product's coefficients (Poly::addmul) instead of building a temporary
+  // polynomial and adding it.  Both drivers share this entry kernel, so
+  // sequential and parallel runs stay bit-identical.
+  Poly out = a.e[r][0] * b.e[0][c];
+  out.addmul(a.e[r][1], b.e[1][c]);
+  return out;
 }
 
 PolyMat22 u_matrix(const RemainderSequence& rs, int k) {

@@ -20,7 +20,7 @@ std::vector<Rational> power_sums(const Poly& p, int kmax) {
     // s_k + b_1 s_{k-1} + ... + b_{k-1} s_1 + k b_k = 0.
     Rational acc = Rational(k) * b(k);
     for (int j = 1; j < k; ++j) {
-      acc += b(j) * s[static_cast<std::size_t>(k - j)];
+      acc.addmul(b(j), s[static_cast<std::size_t>(k - j)]);
     }
     s[static_cast<std::size_t>(k)] = -acc;
   }

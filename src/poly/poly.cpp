@@ -87,11 +87,27 @@ Poly operator*(const Poly& a, const Poly& b) {
     if (a.c_[i].is_zero()) continue;
     for (std::size_t j = 0; j < b.c_.size(); ++j) {
       if (b.c_[j].is_zero()) continue;
-      r.c_[i + j] += a.c_[i] * b.c_[j];
+      r.c_[i + j].addmul(a.c_[i], b.c_[j]);
     }
   }
   r.trim();
   return r;
+}
+
+Poly& Poly::addmul(const Poly& a, const Poly& b) {
+  check_arg(this != &a && this != &b, "Poly::addmul: aliased operands");
+  if (a.is_zero() || b.is_zero()) return *this;
+  const std::size_t rn = a.c_.size() + b.c_.size() - 1;
+  if (c_.size() < rn) c_.resize(rn);
+  for (std::size_t i = 0; i < a.c_.size(); ++i) {
+    if (a.c_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < b.c_.size(); ++j) {
+      if (b.c_[j].is_zero()) continue;
+      c_[i + j].addmul(a.c_[i], b.c_[j]);
+    }
+  }
+  trim();
+  return *this;
 }
 
 Poly operator*(const BigInt& s, const Poly& p) {
@@ -163,8 +179,8 @@ void Poly::pseudo_divmod(const Poly& a, const Poly& b, Poly& q, Poly& r) {
     quot[static_cast<std::size_t>(k)] = coef;
     if (!coef.is_zero()) {
       for (int i = 0; i <= db; ++i) {
-        rem[static_cast<std::size_t>(i + k)] -=
-            coef * b.c_[static_cast<std::size_t>(i)];
+        rem[static_cast<std::size_t>(i + k)].submul(
+            coef, b.c_[static_cast<std::size_t>(i)]);
       }
     }
     check_internal(rem[static_cast<std::size_t>(db + k)].is_zero(),
@@ -187,8 +203,8 @@ Poly Poly::divexact(const Poly& a, const Poly& b) {
     if (!top.is_zero()) {
       const BigInt qc = BigInt::divexact(top, b.leading());
       for (int i = 0; i <= db; ++i) {
-        rem[static_cast<std::size_t>(i + k)] -=
-            qc * b.c_[static_cast<std::size_t>(i)];
+        rem[static_cast<std::size_t>(i + k)].submul(
+            qc, b.c_[static_cast<std::size_t>(i)]);
       }
       quot[static_cast<std::size_t>(k)] = qc;
     }

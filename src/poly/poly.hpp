@@ -60,6 +60,12 @@ class Poly {
   Poly& operator-=(const Poly& o) { return *this = *this - o; }
   Poly& operator*=(const Poly& o) { return *this = *this * o; }
 
+  /// *this += a * b without materializing the product polynomial: every
+  /// coefficient product is accumulated in place with BigInt::addmul.
+  /// The multiplication set (and instrumented mul count) is identical to
+  /// `*this += a * b`.  Precondition: neither a nor b aliases *this.
+  Poly& addmul(const Poly& a, const Poly& b);
+
   /// Divides every coefficient by `s` exactly (throws InternalError if any
   /// division is inexact).
   Poly divexact_scalar(const BigInt& s) const;

@@ -1,5 +1,11 @@
 // Polynomial evaluation: Horner's rule at integer points and the scaled
 // integer-only evaluation of Section 4.3 at dyadic rational points.
+//
+// Both loops use the fused in-place BigInt kernels: each Horner step is a
+// mul_assign followed by an in-place add (or shift-accumulate), so the
+// accumulator's buffer is reused across all degree() steps instead of being
+// reallocated per step.  The instrumented operation counts are identical to
+// the composed `acc = acc * x + c` form.
 #include "poly/poly.hpp"
 
 namespace pr {
@@ -8,7 +14,8 @@ BigInt Poly::eval(const BigInt& x) const {
   if (c_.empty()) return BigInt();
   BigInt acc = c_.back();
   for (std::size_t i = c_.size() - 1; i-- > 0;) {
-    acc = acc * x + c_[i];
+    acc *= x;
+    acc += c_[i];
   }
   return acc;
 }
@@ -23,7 +30,8 @@ BigInt Poly::eval_scaled(const BigInt& a, std::size_t w) const {
   std::size_t shift = 0;
   for (std::size_t i = c_.size() - 1; i-- > 0;) {
     shift += w;
-    acc = acc * a + (c_[i] << shift);
+    acc *= a;
+    acc.add_shifted(c_[i], shift);  // acc += c_[i] << shift, no temporary
   }
   return acc;
 }

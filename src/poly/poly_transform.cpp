@@ -17,7 +17,7 @@ Poly Poly::taylor_shift(const BigInt& c) const {
   // the coefficient of x^k of the shifted polynomial.
   for (std::size_t k = 0; k < d; ++k) {
     for (std::size_t i = d; i-- > k;) {
-      a[i] += c * a[i + 1];
+      a[i].addmul(c, a[i + 1]);
     }
   }
   return Poly(std::move(a));

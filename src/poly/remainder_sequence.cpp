@@ -21,10 +21,12 @@ void quotient_coeffs(const Poly& f_prev, const Poly& f_cur, BigInt& q1,
 BigInt next_f_coeff(const Poly& f_prev, const Poly& f_cur, const BigInt& q1,
                     const BigInt& q0, const BigInt& ci_sq,
                     const BigInt& cprev_sq, std::size_t j) {
-  // Eq. (18).  f_{i,j-1} is zero for j == 0.
+  // Eq. (18).  f_{i,j-1} is zero for j == 0.  The three products are
+  // accumulated in place (addmul/submul) so the recurrence allocates no
+  // intermediate BigInts.
   BigInt num = f_cur.coeff(j) * q0;
-  if (j > 0) num += f_cur.coeff(j - 1) * q1;
-  num -= ci_sq * f_prev.coeff(j);
+  if (j > 0) num.addmul(f_cur.coeff(j - 1), q1);
+  num.submul(ci_sq, f_prev.coeff(j));
   return BigInt::divexact(num, cprev_sq);
 }
 

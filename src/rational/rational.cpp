@@ -56,6 +56,19 @@ Rational operator/(const Rational& a, const Rational& b) {
   return Rational(a.num_ * b.den_, a.den_ * b.num_);
 }
 
+Rational& Rational::addmul(const Rational& b, const Rational& c) {
+  if (this == &b || this == &c) return *this += b * c;
+  // (n/d) + (bn*cn)/(bd*cd) == (n*bd*cd + bn*cn*d) / (d*bd*cd); normalize()
+  // reduces to the same canonical form the composed expression produces.
+  const BigInt pd = b.den_ * c.den_;
+  const BigInt pn = b.num_ * c.num_;
+  num_ *= pd;
+  num_.addmul(pn, den_);
+  den_ *= pd;
+  normalize();
+  return *this;
+}
+
 Rational Rational::abs() const {
   Rational r = *this;
   r.num_ = r.num_.abs();
@@ -111,7 +124,8 @@ Rational eval_at_rational(const Poly& p, const Rational& x) {
   // Horner over rationals: exact, normalized at each step.
   Rational acc(p.leading());
   for (int i = p.degree() - 1; i >= 0; --i) {
-    acc = acc * x + Rational(p.coeff(static_cast<std::size_t>(i)));
+    acc *= x;
+    acc += Rational(p.coeff(static_cast<std::size_t>(i)));
   }
   return acc;
 }

@@ -49,6 +49,11 @@ class Rational {
   Rational& operator*=(const Rational& o) { return *this = *this * o; }
   Rational& operator/=(const Rational& o) { return *this = *this / o; }
 
+  /// *this += b * c without materializing the intermediate Rational.
+  /// The result is canonical (normalized), so it is value-identical to
+  /// `*this += b * c`.
+  Rational& addmul(const Rational& b, const Rational& c);
+
   Rational abs() const;
   /// 1/x; throws DivisionByZero on zero.
   Rational reciprocal() const;
