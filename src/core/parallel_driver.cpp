@@ -1,5 +1,6 @@
 #include "core/parallel_driver.hpp"
 
+#include <algorithm>
 #include <array>
 #include <memory>
 
@@ -77,6 +78,8 @@ class GraphBuilder {
   RunState& st_;
   TaskGraph& g_;
   const ParallelConfig& pc_;
+
+  int chunk_size() const { return std::max(1, pc_.grain_chunk); }
 
   // mark_[k] completes when F_k (and c_k) are valid, k >= 1.
   std::vector<TaskId> mark_;
@@ -197,51 +200,65 @@ class GraphBuilder {
       make_quotient_task(i);
       const TaskId marker = g_.add(TaskKind::kIterMark, i,
                                    [this, i] { finish_iteration(i); });
-      for (int j = 0; j <= n - i - 1; ++j) {
-        const auto uj = static_cast<std::size_t>(j);
+      // Grain coarsening: fuse `chunk` consecutive coefficients into one
+      // scheduled task (values are independent of the chunking; only the
+      // dispatch count changes).
+      const int ncoeff = n - i;  // coefficients j = 0 .. n-i-1
+      const int chunk = chunk_size();
+      for (int j0 = 0; j0 < ncoeff; j0 += chunk) {
+        const auto b = static_cast<std::size_t>(j0);
+        const auto e =
+            static_cast<std::size_t>(std::min(j0 + chunk, ncoeff));
         if (pc_.grain == RemainderGrain::kPerCoefficient) {
-          const TaskId c = g_.add(TaskKind::kCoeff, i, [&st, i, uj] {
+          const TaskId c = g_.add(TaskKind::kCoeff, i, [&st, i, b, e] {
             instr::PhaseScope phase(instr::Phase::kRemainder);
             const auto uidx = static_cast<std::size_t>(i);
-            st.fstage[uidx + 1][uj] = next_f_coeff(
-                st.rs.F[uidx - 1], st.rs.F[uidx], st.q1[uidx], st.q0[uidx],
-                st.ci_sq[uidx], st.cprev_sq[uidx], uj);
+            for (std::size_t uj = b; uj < e; ++uj) {
+              st.fstage[uidx + 1][uj] = next_f_coeff(
+                  st.rs.F[uidx - 1], st.rs.F[uidx], st.q1[uidx], st.q0[uidx],
+                  st.ci_sq[uidx], st.cprev_sq[uidx], uj);
+            }
           });
           g_.add_edge(q_ready_[ui], c);
           g_.add_edge(c, marker);
         } else {  // kPerOperation: the paper's finest grain
           // Stage the three products of Eq. 18 in separate tasks, then
-          // combine (subtractions + exact division) in a fourth.
+          // combine (subtractions + exact division) in a fourth; each
+          // task covers the chunk's coefficient range.
           if (st.opstage[ui + 1].empty()) {
-            st.opstage[ui + 1].resize(static_cast<std::size_t>(n - i));
+            st.opstage[ui + 1].resize(static_cast<std::size_t>(ncoeff));
           }
           TaskId prods[3];
           for (int op = 0; op < 3; ++op) {
             prods[op] =
-                g_.add(TaskKind::kMulOp, i, [&st, i, uj, op] {
+                g_.add(TaskKind::kMulOp, i, [&st, i, b, e, op] {
                   instr::PhaseScope phase(instr::Phase::kRemainder);
                   const auto uidx = static_cast<std::size_t>(i);
-                  auto& slot = st.opstage[uidx + 1][uj][
-                      static_cast<std::size_t>(op)];
                   const Poly& fcur = st.rs.F[uidx];
                   const Poly& fprev = st.rs.F[uidx - 1];
-                  switch (op) {
-                    case 0: slot = fcur.coeff(uj) * st.q0[uidx]; break;
-                    case 1:
-                      slot = uj > 0 ? fcur.coeff(uj - 1) * st.q1[uidx]
-                                    : BigInt();
-                      break;
-                    default: slot = st.ci_sq[uidx] * fprev.coeff(uj); break;
+                  for (std::size_t uj = b; uj < e; ++uj) {
+                    auto& slot = st.opstage[uidx + 1][uj][
+                        static_cast<std::size_t>(op)];
+                    switch (op) {
+                      case 0: slot = fcur.coeff(uj) * st.q0[uidx]; break;
+                      case 1:
+                        slot = uj > 0 ? fcur.coeff(uj - 1) * st.q1[uidx]
+                                      : BigInt();
+                        break;
+                      default: slot = st.ci_sq[uidx] * fprev.coeff(uj); break;
+                    }
                   }
                 });
             g_.add_edge(q_ready_[ui], prods[op]);
           }
-          const TaskId comb = g_.add(TaskKind::kCombineOp, i, [&st, i, uj] {
+          const TaskId comb = g_.add(TaskKind::kCombineOp, i, [&st, i, b, e] {
             instr::PhaseScope phase(instr::Phase::kRemainder);
             const auto uidx = static_cast<std::size_t>(i);
-            const auto& slots = st.opstage[uidx + 1][uj];
-            st.fstage[uidx + 1][uj] = BigInt::divexact(
-                slots[0] + slots[1] - slots[2], st.cprev_sq[uidx]);
+            for (std::size_t uj = b; uj < e; ++uj) {
+              const auto& slots = st.opstage[uidx + 1][uj];
+              st.fstage[uidx + 1][uj] = BigInt::divexact(
+                  slots[0] + slots[1] - slots[2], st.cprev_sq[uidx]);
+            }
           });
           for (auto prod : prods) g_.add_edge(prod, comb);
           g_.add_edge(comb, marker);
@@ -411,16 +428,22 @@ class GraphBuilder {
     g_.add_edge(roots_ready_[static_cast<std::size_t>(nd.left)], sort);
     g_.add_edge(roots_ready_[static_cast<std::size_t>(nd.right)], sort);
 
+    // prein[j] = the task that analyzes interleaving point j.  With
+    // grain_chunk > 1 one kPreInterval task covers a whole range of
+    // points, so consecutive entries may alias the same task.
+    const int chunk = chunk_size();
     std::vector<TaskId> prein(static_cast<std::size_t>(d) + 1);
-    for (int j = 0; j <= d; ++j) {
-      const auto uj = static_cast<std::size_t>(j);
-      prein[uj] = g_.add(TaskKind::kPreInterval, idx, [&st, idx, uj] {
+    for (int j0 = 0; j0 <= d; j0 += chunk) {
+      const auto b = static_cast<std::size_t>(j0);
+      const auto e = static_cast<std::size_t>(std::min(j0 + chunk, d + 1));
+      const TaskId t = g_.add(TaskKind::kPreInterval, idx, [&st, idx, b, e] {
         auto& sc = st.scratch[static_cast<std::size_t>(idx)];
-        sc.infos[uj] = analyze_interleave_point(
-            st.tree.node(idx).poly, sc.points[uj], st.mu);
+        analyze_interleave_range(st.tree.node(idx).poly, sc.points, b, e,
+                                 st.mu, sc.infos);
       });
-      g_.add_edge(sort, prein[uj]);
-      g_.add_edge(poly_ready, prein[uj]);
+      g_.add_edge(sort, t);
+      g_.add_edge(poly_ready, t);
+      for (std::size_t j = b; j < e; ++j) prein[j] = t;
     }
 
     const TaskId marker = g_.add(TaskKind::kRootsMark, idx, {});
@@ -434,7 +457,7 @@ class GraphBuilder {
             sc.infos[ui + 1], st.mu, st.solver, &sc.stats[ui]);
       });
       g_.add_edge(prein[ui], iv);
-      g_.add_edge(prein[ui + 1], iv);
+      if (prein[ui + 1] != prein[ui]) g_.add_edge(prein[ui + 1], iv);
       g_.add_edge(iv, marker);
     }
     roots_ready_[static_cast<std::size_t>(idx)] = marker;
@@ -447,6 +470,8 @@ ParallelRunResult find_real_roots_parallel(const Poly& p,
                                            const RootFinderConfig& config,
                                            const ParallelConfig& parallel) {
   check_arg(p.degree() >= 1, "find_real_roots_parallel: degree >= 1");
+  check_arg(parallel.grain_chunk >= 1,
+            "find_real_roots_parallel: grain_chunk >= 1");
   ParallelRunResult out;
 
   const Poly work = p.primitive_part();

@@ -35,6 +35,14 @@ enum class RemainderGrain {
 struct ParallelConfig {
   int num_threads = 1;
   RemainderGrain grain = RemainderGrain::kPerCoefficient;
+  /// Grain coarsening: how many consecutive micro-units of the same kind
+  /// are fused into one scheduled task (>= 1).  Applies to the
+  /// fine-grained task families -- kCoeff coefficients, the kMulOp /
+  /// kCombineOp operation tasks of the per-operation grain, and the
+  /// kPreInterval point analyses -- trading scheduling overhead against
+  /// available parallelism, the paper's Section 3.1/5.2 granularity
+  /// knob made explicit.  Results are bit-identical for every value.
+  int grain_chunk = 1;
   /// Queueing policy: the paper's central queue or per-worker stealing.
   PoolPolicy pool_policy = PoolPolicy::kCentralQueue;
   /// Run stage 1 as a single sequential task (the paper's run-time option,

@@ -76,6 +76,17 @@ std::vector<BigInt> merge_child_roots(const Tree& tree, int idx) {
   return out;
 }
 
+void analyze_interleave_range(const Poly& p, const std::vector<BigInt>& points,
+                              std::size_t begin, std::size_t end,
+                              std::size_t mu,
+                              std::vector<InterleavePointInfo>& infos) {
+  check_internal(end <= points.size() && end <= infos.size() && begin <= end,
+                 "analyze_interleave_range: bad range");
+  for (std::size_t j = begin; j < end; ++j) {
+    infos[j] = analyze_interleave_point(p, points[j], mu);
+  }
+}
+
 void compute_node_roots(Tree& tree, int idx, std::size_t mu,
                         const BigInt& bound_scaled,
                         const IntervalSolverConfig& config,

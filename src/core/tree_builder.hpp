@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/interval_solver.hpp"
+#include "core/interval_stage.hpp"
 #include "core/tree.hpp"
 #include "poly/remainder_sequence.hpp"
 
@@ -18,6 +19,17 @@ void compute_node_poly(Tree& tree, int idx, const RemainderSequence& rs);
 /// Merges the children's sorted root vectors into the interleaving-point
 /// sequence for `idx` (the SORT task).  Children must be done.
 std::vector<BigInt> merge_child_roots(const Tree& tree, int idx);
+
+/// Analyzes the interleaving points `points[begin..end)` of polynomial
+/// `p`, writing the results into `infos[begin..end)`.  With end == begin+1
+/// this is exactly one of the paper's PREINTERVAL tasks; larger ranges are
+/// the grain-coarsened ("chunked") variant the parallel driver schedules
+/// when ParallelConfig::grain_chunk > 1 -- the same work, fewer
+/// dispatches.  Results are independent of the chunking.
+void analyze_interleave_range(const Poly& p, const std::vector<BigInt>& points,
+                              std::size_t begin, std::size_t end,
+                              std::size_t mu,
+                              std::vector<InterleavePointInfo>& infos);
 
 /// Computes node.roots for one node whose polynomial and children's roots
 /// are done (PREINTERVAL + INTERVAL steps).  `bound_scaled` = 2^(R+mu).

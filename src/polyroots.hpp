@@ -37,6 +37,7 @@
 #include "gen/matrix_polys.hpp"               // IWYU pragma: export
 #include "instr/counters.hpp"                 // IWYU pragma: export
 #include "instr/phase.hpp"                    // IWYU pragma: export
+#include "instr/sched_stats.hpp"              // IWYU pragma: export
 #include "linalg/berkowitz.hpp"               // IWYU pragma: export
 #include "linalg/intmatrix.hpp"               // IWYU pragma: export
 #include "linalg/polymat22.hpp"               // IWYU pragma: export

@@ -5,6 +5,7 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "support/error.hpp"
 #include "support/text.hpp"
@@ -104,21 +105,156 @@ void TaskTrace::save_dot(std::ostream& os) const {
   os << "}\n";
 }
 
+namespace {
+
+/// Reads the next non-empty line or throws InvalidArgument.  `lineno` is
+/// incremented for every physical line consumed so error messages can
+/// point at the offending line of the file.
+std::string next_line(std::istream& is, std::size_t& lineno,
+                      const char* who) {
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") != std::string::npos) return line;
+  }
+  throw InvalidArgument(std::string(who) + ": truncated input after line " +
+                        std::to_string(lineno));
+}
+
+[[noreturn]] void malformed(const char* who, std::size_t lineno,
+                            const std::string& why) {
+  throw InvalidArgument(std::string(who) + ": line " +
+                        std::to_string(lineno) + ": " + why);
+}
+
+}  // namespace
+
 TaskTrace TaskTrace::load(std::istream& is) {
-  std::size_t n = 0;
-  is >> n;
+  static constexpr const char* kWho = "TaskTrace::load";
+  std::size_t lineno = 0;
+
+  std::istringstream header(next_line(is, lineno, kWho));
+  long long count = -1;
+  if (!(header >> count) || count < 0) {
+    malformed(kWho, lineno, "expected a nonnegative task count");
+  }
+  const auto n = static_cast<std::size_t>(count);
+
   TaskTrace tr;
   tr.tasks.resize(n);
-  for (auto& t : tr.tasks) {
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& t = tr.tasks[i];
+    std::istringstream ls(next_line(is, lineno, kWho));
     int kind = 0;
-    std::size_t ndeps = 0;
-    is >> t.cost >> kind >> t.tag >> t.num_deps >> ndeps;
+    long long ndeps = -1;
+    if (!(ls >> t.cost >> kind >> t.tag >> t.num_deps >> ndeps)) {
+      malformed(kWho, lineno, "truncated task record (need cost kind tag "
+                              "num_deps dependent-count)");
+    }
+    if (kind < 0 || kind > static_cast<int>(TaskKind::kGeneric)) {
+      malformed(kWho, lineno, "unknown task kind " + std::to_string(kind));
+    }
     t.kind = static_cast<TaskKind>(kind);
-    t.dependents.resize(ndeps);
-    for (auto& d : t.dependents) is >> d;
+    if (t.num_deps < 0) {
+      malformed(kWho, lineno,
+                "negative dependency count " + std::to_string(t.num_deps));
+    }
+    if (ndeps < 0) {
+      malformed(kWho, lineno,
+                "negative dependent count " + std::to_string(ndeps));
+    }
+    t.dependents.resize(static_cast<std::size_t>(ndeps));
+    for (auto& d : t.dependents) {
+      if (!(ls >> d)) {
+        malformed(kWho, lineno, "truncated dependent list");
+      }
+      if (d < 0 || static_cast<std::size_t>(d) >= n) {
+        malformed(kWho, lineno,
+                  "dependent id " + std::to_string(d) + " out of range [0, " +
+                      std::to_string(n) + ")");
+      }
+      if (static_cast<std::size_t>(d) == i) {
+        malformed(kWho, lineno, "task depends on itself");
+      }
+    }
+    std::string rest;
+    if (ls >> rest) {
+      malformed(kWho, lineno, "trailing data '" + rest + "'");
+    }
   }
-  check_arg(static_cast<bool>(is), "TaskTrace::load: malformed trace");
+
+  // Cross-check: the declared in-degrees must match the listed edges,
+  // otherwise the trace would deadlock (or over-release) when replayed.
+  std::vector<std::int32_t> indeg(n, 0);
+  for (const auto& t : tr.tasks) {
+    for (TaskId d : t.dependents) ++indeg[static_cast<std::size_t>(d)];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] != tr.tasks[i].num_deps) {
+      throw InvalidArgument(
+          std::string(kWho) + ": task " + std::to_string(i) + " declares " +
+          std::to_string(tr.tasks[i].num_deps) + " dependencies but " +
+          std::to_string(indeg[i]) + " edges point at it");
+    }
+  }
   return tr;
+}
+
+double ExecutionTimeline::span() const {
+  double max_finish = 0;
+  for (const auto& e : entries) max_finish = std::max(max_finish, e.finish);
+  return max_finish;
+}
+
+double ExecutionTimeline::busy_seconds() const {
+  double sum = 0;
+  for (const auto& e : entries) sum += e.finish - e.start;
+  return sum;
+}
+
+double ExecutionTimeline::busy_seconds_for(int worker) const {
+  double sum = 0;
+  for (const auto& e : entries) {
+    if (e.worker == worker) sum += e.finish - e.start;
+  }
+  return sum;
+}
+
+void ExecutionTimeline::save(std::ostream& os) const {
+  os << workers << ' ' << entries.size() << '\n';
+  os.precision(9);
+  for (const auto& e : entries) {
+    os << e.task << ' ' << e.worker << ' ' << e.start << ' ' << e.finish
+       << '\n';
+  }
+}
+
+ExecutionTimeline ExecutionTimeline::load(std::istream& is) {
+  static constexpr const char* kWho = "ExecutionTimeline::load";
+  std::size_t lineno = 0;
+  std::istringstream header(next_line(is, lineno, kWho));
+  int workers = 0;
+  long long count = -1;
+  if (!(header >> workers >> count) || workers < 1 || count < 0) {
+    malformed(kWho, lineno, "expected 'workers entry-count' header");
+  }
+  ExecutionTimeline tl;
+  tl.workers = workers;
+  tl.entries.resize(static_cast<std::size_t>(count));
+  for (auto& e : tl.entries) {
+    std::istringstream ls(next_line(is, lineno, kWho));
+    if (!(ls >> e.task >> e.worker >> e.start >> e.finish)) {
+      malformed(kWho, lineno, "truncated entry (need task worker start "
+                              "finish)");
+    }
+    if (e.task < 0) malformed(kWho, lineno, "negative task id");
+    if (e.worker < 0 || e.worker >= workers) {
+      malformed(kWho, lineno,
+                "worker " + std::to_string(e.worker) + " out of range");
+    }
+    if (e.finish < e.start) malformed(kWho, lineno, "finish before start");
+  }
+  return tl;
 }
 
 }  // namespace pr

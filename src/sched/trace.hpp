@@ -41,12 +41,51 @@ struct TaskTrace {
 
   /// Line-oriented serialization (one task per line: cost kind tag deps...).
   void save(std::ostream& os) const;
+  /// Parses a trace previously written by save().  Malformed input --
+  /// truncated lines, negative dependency counts, out-of-range or
+  /// self-referential dependent ids, or dependency counts inconsistent
+  /// with the listed edges -- throws InvalidArgument naming the offending
+  /// line.
   static TaskTrace load(std::istream& is);
 
   /// Graphviz DOT rendering of the DAG (the paper's Fig. 3.2 dependency
   /// picture, concretely): nodes labeled kind/tag, sized by cost.  Keep to
   /// small traces -- the output has one line per task and per edge.
   void save_dot(std::ostream& os) const;
+};
+
+/// One task execution on one worker, in wall seconds relative to the start
+/// of TaskPool::run()'s execution phase.
+struct TimelineEntry {
+  TaskId task = -1;
+  std::int32_t worker = 0;
+  double start = 0;
+  double finish = 0;
+};
+
+/// Per-worker execution timeline of a real TaskPool run: which worker ran
+/// which task, and when.  Together with the TaskTrace (deterministic
+/// per-task bit costs) this lets the discrete-event simulator calibrate
+/// its dispatch-overhead knob against *measured* scheduler overhead
+/// instead of a guessed constant (see calibrated_dispatch_overhead in
+/// sim/des.hpp), and lets benches render Gantt-style worker activity.
+struct ExecutionTimeline {
+  int workers = 0;
+  /// Entries in completion order (the order workers finished tasks).
+  std::vector<TimelineEntry> entries;
+
+  /// Wall span covered by the entries (max finish; 0 when empty).
+  double span() const;
+  /// Sum of task durations across all workers.
+  double busy_seconds() const;
+  /// Sum of task durations attributed to one worker.
+  double busy_seconds_for(int worker) const;
+
+  /// Line-oriented serialization: "workers\n" then one
+  /// "task worker start finish" per line.  load() validates like
+  /// TaskTrace::load and throws InvalidArgument with line context.
+  void save(std::ostream& os) const;
+  static ExecutionTimeline load(std::istream& is);
 };
 
 }  // namespace pr

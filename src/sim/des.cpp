@@ -147,6 +147,24 @@ ParallelismProfile parallelism_profile(const TaskTrace& trace) {
   return out;
 }
 
+std::uint64_t calibrated_dispatch_overhead(const TaskTrace& trace,
+                                           const TaskPoolStats& stats) {
+  if (stats.tasks_run == 0 || stats.workers.empty()) return 0;
+  const double exec = stats.total_exec_seconds();
+  if (exec <= 0 || stats.wall_seconds <= 0) return 0;
+  // Cost units per second on the machine that produced the timeline.
+  const double rate = static_cast<double>(trace.total_cost()) / exec;
+  // Wall time across all workers not spent executing tasks or parked
+  // idle: queue operations, lock waits, dependency accounting.
+  const double worker_wall =
+      stats.wall_seconds * static_cast<double>(stats.workers.size());
+  const double overhead_seconds =
+      std::max(0.0, worker_wall - exec - stats.total_idle_seconds());
+  const double per_task =
+      overhead_seconds / static_cast<double>(stats.tasks_run) * rate;
+  return static_cast<std::uint64_t>(per_task);
+}
+
 std::vector<double> simulate_speedups(const TaskTrace& trace,
                                       const std::vector<int>& processor_counts,
                                       std::uint64_t dispatch_overhead) {

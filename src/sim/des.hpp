@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sched/task_pool.hpp"
 #include "sched/trace.hpp"
 
 namespace pr {
@@ -47,6 +48,21 @@ SimResult simulate_schedule(const TaskTrace& trace, const SimConfig& config);
 std::vector<double> simulate_speedups(const TaskTrace& trace,
                                       const std::vector<int>& processor_counts,
                                       std::uint64_t dispatch_overhead = 0);
+
+/// Calibrates SimConfig::dispatch_overhead (in the trace's bit-op cost
+/// units) from a real execution's measured scheduler overhead, so the
+/// simulator replays the dispatch cost the scheduler actually paid rather
+/// than a guessed constant.
+///
+/// The conversion: the run's per-worker counters partition wall time into
+/// task execution, idle parking, and everything else (queue operations,
+/// lock waits, dependency accounting).  That residue, divided over the
+/// tasks dispatched, is the measured per-task overhead in seconds; the
+/// trace's total bit cost over the measured execution seconds gives the
+/// machine's cost rate, which converts it into cost units.  Returns 0 for
+/// empty or unmeasured runs (e.g. a trace loaded from disk).
+std::uint64_t calibrated_dispatch_overhead(const TaskTrace& trace,
+                                           const TaskPoolStats& stats);
 
 /// The DAG's inherent parallelism under an ASAP (infinite-processor)
 /// schedule: how many tasks run concurrently over time.

@@ -9,6 +9,7 @@
 #include "gen/classic_polys.hpp"
 #include "gen/matrix_polys.hpp"
 #include "sim/des.hpp"
+#include "support/error.hpp"
 #include "support/prng.hpp"
 
 namespace pr {
@@ -189,6 +190,91 @@ TEST(ParallelDriver, InherentParallelismIsSubstantial) {
   EXPECT_GT(prof.average, 3.0) << "the DAG should expose real parallelism";
   EXPECT_GE(prof.peak, 8u);
   EXPECT_GT(prof.at_least[1], 0.3) << ">= 2 tasks most of the time";
+}
+
+// The ISSUE's determinism matrix: RootReports must be bit-identical
+// across every {policy} x {thread count} x {grain chunk} combination,
+// because each task is a pure function of its dependencies' outputs and
+// chunking only changes how units are packed into scheduled tasks.
+TEST(ParallelDriver, DeterministicAcrossPolicyThreadsAndChunks) {
+  struct Workload {
+    const char* name;
+    Poly poly;
+  };
+  Prng rng(99);
+  const std::vector<Workload> workloads = {
+      {"wilkinson", wilkinson(12)},
+      {"berkowitz", paper_input(10, rng).poly},
+  };
+  const RootFinderConfig cfg = base_config(24);
+  for (const auto& w : workloads) {
+    const auto ref = find_real_roots(w.poly, cfg);
+    for (RemainderGrain grain :
+         {RemainderGrain::kPerCoefficient, RemainderGrain::kPerOperation}) {
+      for (PoolPolicy policy :
+           {PoolPolicy::kCentralQueue, PoolPolicy::kWorkStealing}) {
+        for (int threads : {1, 2, 8}) {
+          for (int chunk : {1, 4}) {
+            ParallelConfig pc;
+            pc.grain = grain;
+            pc.pool_policy = policy;
+            pc.num_threads = threads;
+            pc.grain_chunk = chunk;
+            const auto run = find_real_roots_parallel(w.poly, cfg, pc);
+            EXPECT_FALSE(run.used_sequential_fallback);
+            EXPECT_EQ(run.report.roots, ref.roots)
+                << w.name << " policy="
+                << (policy == PoolPolicy::kCentralQueue ? "central" : "steal")
+                << " threads=" << threads << " chunk=" << chunk;
+            EXPECT_EQ(run.report.multiplicities, ref.multiplicities) << w.name;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelDriver, GrainChunkShrinksTraceKeepsRoots) {
+  Prng rng(88);
+  const auto input = paper_input(12, rng);
+  const RootFinderConfig cfg = base_config(16);
+  ParallelConfig fine, chunked;
+  fine.grain = RemainderGrain::kPerOperation;
+  chunked.grain = RemainderGrain::kPerOperation;
+  chunked.grain_chunk = 4;
+  const auto runf = find_real_roots_parallel(input.poly, cfg, fine);
+  const auto runc = find_real_roots_parallel(input.poly, cfg, chunked);
+  EXPECT_EQ(runf.report.roots, runc.report.roots);
+  // Chunking fuses micro-tasks, so the DAG must get much smaller (the
+  // tree-stage tasks are unaffected, so less than the full 4x) while
+  // total recorded work stays comparable (same arithmetic, fewer tasks).
+  EXPECT_LT(runc.trace.size() * 3, runf.trace.size() * 2);
+  EXPECT_GT(runc.trace.total_cost() * 2, runf.trace.total_cost());
+}
+
+TEST(ParallelDriver, RejectsBadGrainChunk) {
+  ParallelConfig pc;
+  pc.grain_chunk = 0;
+  EXPECT_THROW(
+      find_real_roots_parallel(wilkinson(6), base_config(12), pc),
+      InvalidArgument);
+}
+
+TEST(ParallelDriver, PoolStatsExposeTimelineAndCounters) {
+  Prng rng(7);
+  const auto input = paper_input(10, rng);
+  ParallelConfig pc;
+  pc.num_threads = 2;
+  const auto run = find_real_roots_parallel(input.poly, base_config(30), pc);
+  EXPECT_FALSE(run.used_sequential_fallback);
+  EXPECT_EQ(run.pool.tasks_run, run.trace.size());
+  EXPECT_EQ(run.pool.timeline.entries.size(), run.trace.size());
+  ASSERT_EQ(run.pool.workers.size(), 2u);
+  std::size_t worker_tasks = 0;
+  for (const auto& w : run.pool.workers) worker_tasks += w.tasks;
+  EXPECT_EQ(worker_tasks, run.pool.tasks_run);
+  EXPECT_GT(run.pool.wall_seconds, 0.0);
+  EXPECT_GE(run.pool.setup_seconds, 0.0);
 }
 
 TEST(ParallelDriver, PerOperationGrainHasMoreTasks) {

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "bigint/bigint.hpp"
+#include "instr/sched_stats.hpp"
 #include "sched/task_graph.hpp"
 #include "sched/task_pool.hpp"
 #include "sched/trace.hpp"
@@ -148,6 +151,238 @@ TEST(TaskPool, RejectsZeroThreads) {
   EXPECT_THROW(TaskPool(0), InvalidArgument);
 }
 
+TEST(TaskPool, EmptyGraphReturnsImmediately) {
+  TaskGraph g;
+  TaskPool pool(4);
+  const auto stats = pool.run(g);
+  EXPECT_EQ(stats.tasks_run, 0u);
+  EXPECT_TRUE(stats.timeline.entries.empty());
+}
+
+// Regression for the shutdown underflow: the old pool zeroed `remaining`
+// (a size_t) from the error path while other tasks were still in flight;
+// their completions then wrapped the counter past zero and shutdown relied
+// on the error flag alone.  The rewrite only ever decrements per completed
+// task, so a throwing task racing long-running tasks must shut down
+// cleanly under both policies, every time.
+class PoolPolicies : public ::testing::TestWithParam<PoolPolicy> {};
+
+TEST_P(PoolPolicies, ThrowingTaskRacingLongTasksShutsDownCleanly) {
+  for (int round = 0; round < 8; ++round) {
+    TaskGraph g;
+    // Several slow tasks that are likely mid-flight when the bomb goes off.
+    for (int i = 0; i < 6; ++i) {
+      g.add(TaskKind::kGeneric, i, [] {
+        (void)(BigInt::pow2(20000) * BigInt::pow2(20000));
+      });
+    }
+    g.add(TaskKind::kGeneric, 99, [] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      throw InvalidArgument("boom");
+    });
+    // More work queued behind the slow tasks so shutdown must abandon a
+    // non-empty queue.
+    std::atomic<int> late{0};
+    for (int i = 0; i < 32; ++i) {
+      const TaskId a = g.add(TaskKind::kGeneric, i, [&late] { ++late; });
+      g.add_edge(static_cast<TaskId>(i % 6), a);
+    }
+    TaskPool pool(4, GetParam());
+    EXPECT_THROW(pool.run(g), InvalidArgument) << "round " << round;
+  }
+}
+
+TEST_P(PoolPolicies, FirstOfConcurrentExceptionsWins) {
+  TaskGraph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add(TaskKind::kGeneric, i, [] { throw InvalidArgument("boom"); });
+  }
+  TaskPool pool(4, GetParam());
+  EXPECT_THROW(pool.run(g), InvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, PoolPolicies,
+                         ::testing::Values(PoolPolicy::kCentralQueue,
+                                           PoolPolicy::kWorkStealing),
+                         [](const auto& param_info) {
+                           return param_info.param == PoolPolicy::kCentralQueue
+                                      ? std::string("Central")
+                                      : std::string("Stealing");
+                         });
+
+// Lost-wakeup stress: waves of tiny tasks with full fan-in between waves,
+// run with more threads than this host has cores.  Every wave boundary
+// forces most workers through the park/wake path; under the old
+// work-stealing pool the queue was checked outside the idle mutex and a
+// concurrent push's notify could be missed, leaving the 1 ms poll as the
+// only (load-bearing) recovery mechanism.  The new protocol must drive
+// thousands of boundary crossings purely by wakeups -- promptly and
+// without losing a single task.
+TEST(TaskPoolStress, TinyTaskWavesWithMoreThreadsThanCores) {
+  constexpr int kThreads = 8;
+  constexpr int kWaves = 150;
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  std::vector<TaskId> prev;
+  for (int w = 0; w < kWaves; ++w) {
+    std::vector<TaskId> wave;
+    for (int i = 0; i < kThreads; ++i) {
+      wave.push_back(g.add(TaskKind::kGeneric, w, [&runs] { ++runs; }));
+    }
+    for (TaskId p : prev) {
+      for (TaskId t : wave) g.add_edge(p, t);
+    }
+    prev = std::move(wave);
+  }
+  TaskPool pool(kThreads, PoolPolicy::kWorkStealing);
+  const auto stats = pool.run(g);
+  EXPECT_EQ(runs.load(), kWaves * kThreads);
+  EXPECT_EQ(stats.tasks_run, static_cast<std::size_t>(kWaves * kThreads));
+  // With the old 1 ms poll as the recovery path, missed wakeups stack up
+  // to a wall time on the order of kWaves milliseconds; the idle/wake
+  // protocol finishes far below that even on a loaded single-core host.
+  EXPECT_LT(stats.wall_seconds, 0.001 * kWaves)
+      << "wave boundaries appear to be paced by timed polling";
+}
+
+TEST(TaskPoolStress, CentralQueueTinyTaskChains) {
+  // The same pressure on the central queue's cv protocol: long dependency
+  // chains of free tasks force constant sleep/wake churn.
+  constexpr int kThreads = 8;
+  TaskGraph g;
+  std::atomic<int> runs{0};
+  TaskId prev = g.add(TaskKind::kGeneric, 0, [&runs] { ++runs; });
+  for (int i = 1; i < 2000; ++i) {
+    const TaskId t = g.add(TaskKind::kGeneric, i, [&runs] { ++runs; });
+    g.add_edge(prev, t);
+    prev = t;
+  }
+  TaskPool pool(kThreads);
+  const auto stats = pool.run(g);
+  EXPECT_EQ(runs.load(), 2000);
+  EXPECT_EQ(stats.tasks_run, 2000u);
+}
+
+TEST(TaskPoolStats, WorkerCountersAccountForEveryTask) {
+  TaskGraph g;
+  const TaskId src = g.add(TaskKind::kGeneric, -1, {});
+  for (int i = 0; i < 100; ++i) {
+    const TaskId t = g.add(TaskKind::kGeneric, i, [] {
+      (void)(BigInt::pow2(5000) * BigInt::pow2(5000));
+    });
+    g.add_edge(src, t);
+  }
+  for (PoolPolicy policy :
+       {PoolPolicy::kCentralQueue, PoolPolicy::kWorkStealing}) {
+    TaskPool pool(4, policy);
+    const auto stats = pool.run(g);
+    ASSERT_EQ(stats.workers.size(), 4u);
+    std::size_t tasks = 0, steals = 0;
+    for (const auto& w : stats.workers) {
+      tasks += w.tasks;
+      steals += w.steals;
+    }
+    EXPECT_EQ(tasks, 101u);
+    EXPECT_EQ(steals, stats.steals);
+    EXPECT_GT(stats.total_exec_seconds(), 0.0);
+    EXPECT_GE(stats.wall_seconds, 0.0);
+    // The queue must have been observed holding the full fan-out at least
+    // once (all 100 children become ready when src completes).
+    std::size_t high_water = 0;
+    for (const auto& w : stats.workers) {
+      high_water = std::max(high_water, w.queue_high_water);
+    }
+    EXPECT_GE(high_water, policy == PoolPolicy::kCentralQueue ? 100u : 25u);
+    const std::string table = instr::format_workers(stats.workers);
+    EXPECT_NE(table.find("worker"), std::string::npos);
+    EXPECT_NE(table.find("total"), std::string::npos);
+  }
+}
+
+TEST(TaskPoolStats, StealsAreZeroUnderCentralQueue) {
+  TaskGraph g;
+  const TaskId src = g.add(TaskKind::kGeneric, -1, {});
+  for (int i = 0; i < 32; ++i) {
+    const TaskId t = g.add(TaskKind::kGeneric, i, [] {
+      (void)(BigInt::pow2(10000) * BigInt::pow2(10000));
+    });
+    g.add_edge(src, t);
+  }
+  TaskPool pool(4, PoolPolicy::kCentralQueue);
+  const auto stats = pool.run(g);
+  EXPECT_EQ(stats.steals, 0u);
+  for (const auto& w : stats.workers) EXPECT_EQ(w.steals, 0u);
+}
+
+TEST(TaskPoolStats, TimelineCoversEveryTaskOnce) {
+  TaskGraph g;
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(g.add(TaskKind::kGeneric, i, [] {
+      (void)(BigInt(7) * BigInt(9));
+    }));
+    if (i > 0) g.add_edge(ids[static_cast<std::size_t>(i - 1)], ids.back());
+  }
+  TaskPool pool(2, PoolPolicy::kWorkStealing);
+  const auto stats = pool.run(g);
+  ASSERT_EQ(stats.timeline.entries.size(), 40u);
+  EXPECT_EQ(stats.timeline.workers, 2);
+  std::vector<bool> seen(40, false);
+  double prev_finish = 0;
+  for (const auto& e : stats.timeline.entries) {
+    ASSERT_GE(e.task, 0);
+    ASSERT_LT(e.task, 40);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(e.task)]);
+    seen[static_cast<std::size_t>(e.task)] = true;
+    EXPECT_LE(e.start, e.finish);
+    EXPECT_GE(e.finish, prev_finish);  // completion order
+    prev_finish = e.finish;
+    EXPECT_GE(e.worker, 0);
+    EXPECT_LT(e.worker, 2);
+  }
+  EXPECT_LE(stats.timeline.span(), stats.wall_seconds + 1e-3);
+  EXPECT_NEAR(stats.timeline.busy_seconds(),
+              stats.timeline.busy_seconds_for(0) +
+                  stats.timeline.busy_seconds_for(1),
+              1e-12);
+}
+
+TEST(Timeline, SaveLoadRoundTrip) {
+  ExecutionTimeline tl;
+  tl.workers = 3;
+  tl.entries = {{0, 0, 0.0, 0.5}, {2, 1, 0.1, 0.7}, {1, 2, 0.5, 0.9}};
+  std::stringstream ss;
+  tl.save(ss);
+  const ExecutionTimeline back = ExecutionTimeline::load(ss);
+  ASSERT_EQ(back.entries.size(), 3u);
+  EXPECT_EQ(back.workers, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.entries[i].task, tl.entries[i].task);
+    EXPECT_EQ(back.entries[i].worker, tl.entries[i].worker);
+    EXPECT_NEAR(back.entries[i].start, tl.entries[i].start, 1e-9);
+    EXPECT_NEAR(back.entries[i].finish, tl.entries[i].finish, 1e-9);
+  }
+}
+
+TEST(Timeline, LoadRejectsMalformedInput) {
+  {
+    std::stringstream ss("0 1\n0 0 0 1");  // zero workers
+    EXPECT_THROW(ExecutionTimeline::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("2 2\n0 0 0.0 1.0\n");  // truncated entry list
+    EXPECT_THROW(ExecutionTimeline::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("2 1\n0 5 0.0 1.0\n");  // worker out of range
+    EXPECT_THROW(ExecutionTimeline::load(ss), InvalidArgument);
+  }
+  {
+    std::stringstream ss("2 1\n0 0 2.0 1.0\n");  // finish before start
+    EXPECT_THROW(ExecutionTimeline::load(ss), InvalidArgument);
+  }
+}
+
 TEST(Trace, FromGraphAndBreakdown) {
   TaskGraph g;
   const TaskId a = g.add(TaskKind::kSort, 3, {});
@@ -277,9 +512,49 @@ TEST(Trace, DotExportHasNodesAndEdges) {
   EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
 }
 
+// Task-record format: "cost kind tag num_deps ndeps dep...".  Every load
+// failure must be a pr::Error (InvalidArgument) carrying the offending
+// line number, never a silently-corrupt trace or a crash in the DES.
 TEST(Trace, LoadRejectsMalformedInput) {
-  std::stringstream ss("3\n1 0 0 0"); // truncated
-  EXPECT_THROW(TaskTrace::load(ss), InvalidArgument);
+  const auto rejects = [](const char* text, const char* what) {
+    std::stringstream ss(text);
+    try {
+      (void)TaskTrace::load(ss);
+      FAIL() << "accepted " << what << ": " << text;
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << what << " error lacks line context: " << e.what();
+    }
+  };
+  rejects("3\n1 0 0 0 0", "truncated input (3 declared, 1 present)");
+  rejects("-1", "negative task count");
+  rejects("1\n1 0 0 -2 0", "negative num_deps");
+  rejects("1\n1 0 0 0 -1", "negative dependent count");
+  rejects("2\n1 0 0 0 1 5\n1 0 0 1 0", "out-of-range dependent id");
+  rejects("1\n1 0 0 0 1 0", "self-dependency");
+  rejects("1\n1 99 0 0 0", "out-of-range task kind");
+  rejects("1\n1 0 0 0", "truncated task record");
+  rejects("1\n1 0 0 0 0 7", "trailing data on task record");
+  {
+    // In-degree/edge mismatches are only detectable once the whole file is
+    // read; the error names the inconsistent task instead of a line.
+    std::stringstream ss("2\n1 0 0 0 0\n1 0 0 1 0");
+    EXPECT_THROW(TaskTrace::load(ss), InvalidArgument)
+        << "declared in-degree with no matching edge";
+    std::stringstream ss2("2\n1 0 0 0 1 1\n1 0 0 0 0");
+    EXPECT_THROW(TaskTrace::load(ss2), InvalidArgument)
+        << "edge into a task declaring zero deps";
+  }
+}
+
+TEST(Trace, LoadAcceptsBlankAndPaddedLines) {
+  std::stringstream ss("2\n\n  5 0 3 0 1 1  \n\n7 1 -1 1 0\n");
+  const TaskTrace tr = TaskTrace::load(ss);
+  ASSERT_EQ(tr.tasks.size(), 2u);
+  EXPECT_EQ(tr.tasks[0].cost, 5u);
+  EXPECT_EQ(tr.tasks[0].dependents, std::vector<TaskId>{1});
+  EXPECT_EQ(tr.tasks[1].num_deps, 1);
+  EXPECT_EQ(tr.tasks[1].tag, -1);
 }
 
 TEST(Trace, KindNamesAreStable) {

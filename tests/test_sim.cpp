@@ -108,6 +108,36 @@ TEST(Sim, EmptyTrace) {
   EXPECT_EQ(r.tasks, 0u);
 }
 
+TEST(Sim, CalibratedOverheadFromMeasuredRun) {
+  // 4 tasks of cost 250 each; one worker busy 1 s executing, the pool
+  // wall clock was 1.5 s with 0.25 s recorded idle -- so 0.25 s is
+  // dispatch overhead.  Rate = 1000 cost / 1 s; overhead per task =
+  // 0.25 s / 4 * 1000 = 62 cost units (truncated).
+  const TaskTrace tr = make_trace({250, 250, 250, 250}, {});
+  TaskPoolStats stats;
+  stats.tasks_run = 4;
+  stats.wall_seconds = 1.5;
+  stats.workers.resize(1);
+  stats.workers[0].tasks = 4;
+  stats.workers[0].exec_seconds = 1.0;
+  stats.workers[0].idle_seconds = 0.25;
+  EXPECT_EQ(calibrated_dispatch_overhead(tr, stats), 62u);
+}
+
+TEST(Sim, CalibratedOverheadZeroForUnmeasuredRuns) {
+  const TaskTrace tr = make_trace({100}, {});
+  // A trace loaded from disk has no pool stats attached.
+  EXPECT_EQ(calibrated_dispatch_overhead(tr, TaskPoolStats{}), 0u);
+  // A fully-accounted run (wall * workers == exec + idle) has none either.
+  TaskPoolStats stats;
+  stats.tasks_run = 1;
+  stats.wall_seconds = 1.0;
+  stats.workers.resize(1);
+  stats.workers[0].exec_seconds = 0.6;
+  stats.workers[0].idle_seconds = 0.4;
+  EXPECT_EQ(calibrated_dispatch_overhead(tr, stats), 0u);
+}
+
 TEST(Sim, RejectsBadProcessorCount) {
   const TaskTrace tr = make_trace({1}, {});
   EXPECT_THROW(simulate_schedule(tr, {0, 0}), InvalidArgument);
