@@ -21,6 +21,18 @@
 
 namespace prbench {
 
+/// Canonical location for BENCH_*.json artifacts: the repository root when
+/// known at configure time (POLYROOTS_REPO_ROOT, set by bench/CMakeLists),
+/// else the current working directory.  Keeps the artifact location
+/// independent of where the binary is invoked from (build tree, CI, ...).
+inline std::string canonical_out_path(const char* filename) {
+#ifdef POLYROOTS_REPO_ROOT
+  return std::string(POLYROOTS_REPO_ROOT) + "/" + filename;
+#else
+  return filename;
+#endif
+}
+
 inline std::size_t digits_to_bits(int digits) {
   return static_cast<std::size_t>(
       std::ceil(digits * std::log2(10.0)));

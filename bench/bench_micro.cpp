@@ -261,15 +261,23 @@ BENCHMARK(BM_Degree64RemainderInterval)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 // Custom main: identical to benchmark_main but defaults --benchmark_out to
-// a machine-readable BENCH_micro.json next to the working directory, so CI
-// and scripted runs always get parseable output without extra flags.
+// a machine-readable BENCH_micro.json at the repository root (falling back
+// to the working directory when POLYROOTS_REPO_ROOT is unset), so CI and
+// scripted runs always get parseable output in a canonical place without
+// extra flags.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
+#ifdef POLYROOTS_REPO_ROOT
+  std::string out_flag =
+      std::string("--benchmark_out=") + POLYROOTS_REPO_ROOT +
+      "/BENCH_micro.json";
+#else
   std::string out_flag = "--benchmark_out=BENCH_micro.json";
+#endif
   std::string fmt_flag = "--benchmark_out_format=json";
   if (!has_out) {
     args.push_back(out_flag.data());

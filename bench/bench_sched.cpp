@@ -32,11 +32,11 @@ struct Row {
   std::uint64_t calibrated_overhead;
 };
 
-const char* out_path(int argc, char** argv) {
+std::string out_path(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0) return argv[i + 1];
   }
-  return "BENCH_sched.json";
+  return prbench::canonical_out_path("BENCH_sched.json");
 }
 
 void write_json(const char* path, int n, int digits,
@@ -164,8 +164,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const char* path = out_path(argc, argv);
-  write_json(path, n, digits, rows);
+  const std::string path = out_path(argc, argv);
+  write_json(path.c_str(), n, digits, rows);
   std::cout << "\nwrote " << rows.size() << " rows to " << path << "\n"
             << "\nexpected: identical roots in every row; steals = 0 under "
                "central; chunk = 4\nshrinks the task count and the "

@@ -34,6 +34,14 @@ BigInt::BigInt(unsigned long long v) {
   if (v != 0) mag_.push_back(static_cast<Limb>(v));
 }
 
+BigInt BigInt::from_limbs(const Limb* limbs, std::size_t n, bool negative) {
+  BigInt r;
+  r.mag_.assign_span(limbs, n);
+  r.neg_ = negative;
+  r.trim();
+  return r;
+}
+
 BigInt BigInt::pow2(std::size_t k) {
   BigInt r;
   r.mag_.assign(k / 64 + 1, 0);
@@ -66,6 +74,20 @@ std::int64_t BigInt::to_int64() const {
   if (mag_.empty()) return 0;
   if (!neg_) return static_cast<std::int64_t>(mag_[0]);
   return static_cast<std::int64_t>(~mag_[0] + 1ULL);
+}
+
+std::uint64_t BigInt::mod_u64(std::uint64_t m) const {
+  if (m == 0) throw DivisionByZero();
+  if (m == 1) return 0;
+  // Horner over the limbs: r <- (r * 2^64 + limb) mod m, one 128/64
+  // division per limb.
+  std::uint64_t r = 0;
+  for (std::size_t i = mag_.size(); i-- > 0;) {
+    r = static_cast<std::uint64_t>(
+        ((static_cast<unsigned __int128>(r) << 64) | mag_[i]) % m);
+  }
+  if (neg_ && r != 0) r = m - r;
+  return r;
 }
 
 double BigInt::to_double() const {

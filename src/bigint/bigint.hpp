@@ -87,6 +87,12 @@ class BigInt {
   /// 2^k.
   static BigInt pow2(std::size_t k);
 
+  /// Value from a little-endian limb magnitude (leading zeros allowed;
+  /// trimmed).  Lets the multimodular CRT assemble its mixed-radix digits
+  /// in a raw limb buffer and convert once, instead of paying a BigInt
+  /// multiply-add round trip per digit.
+  static BigInt from_limbs(const Limb* limbs, std::size_t n, bool negative);
+
   // --- observers ---------------------------------------------------------
 
   bool is_zero() const { return mag_.empty(); }
@@ -105,6 +111,16 @@ class BigInt {
   bool bit(std::size_t i) const;
   /// Number of limbs in the magnitude.
   std::size_t limb_count() const { return mag_.size(); }
+  /// Limb `i` (little-endian) of the magnitude; precondition
+  /// i < limb_count().  Read-only window for the modular subsystem's
+  /// division-free residue extraction.
+  Limb limb(std::size_t i) const { return mag_[i]; }
+  /// Canonical residue of the *signed* value in [0, m): single pass over
+  /// the limbs, most significant first.  For negative values the result is
+  /// the true mathematical residue (m - |v| mod m, reduced), so reductions
+  /// of a difference agree with the difference of reductions.  m must be
+  /// nonzero (throws DivisionByZero).
+  std::uint64_t mod_u64(std::uint64_t m) const;
   /// True iff the magnitude lives in a heap buffer (above 64 bits, or a
   /// retained buffer from an earlier large value).  Exposed for the
   /// representation-boundary tests and allocation diagnostics.

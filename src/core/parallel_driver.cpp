@@ -9,6 +9,8 @@
 #include "core/tree.hpp"
 #include "core/tree_builder.hpp"
 #include "instr/phase.hpp"
+#include "modular/modular_combine.hpp"
+#include "modular/modular_prs.hpp"
 #include "poly/bounds.hpp"
 #include "poly/remainder_sequence.hpp"
 #include "support/error.hpp"
@@ -16,6 +18,12 @@
 namespace pr {
 
 namespace {
+
+std::size_t ceil_log2_sz(std::size_t n) {
+  std::size_t b = 0;
+  while ((std::size_t{1} << b) < n) ++b;
+  return b;
+}
 
 /// All shared mutable state of one parallel run.  Every field is written
 /// by exactly one task and read only by tasks ordered after it, so no
@@ -35,12 +43,18 @@ struct RunState {
   // Per-operation grain staging: products of Eq. 18 ([i+1][j][0..2]).
   std::vector<std::vector<std::array<BigInt, 3>>> opstage;
 
+  // Multimodular fast paths (see modular/): both engines expose split-phase
+  // APIs precisely so this driver can schedule their pieces as tasks.
+  modular::ModularConfig modular;
+  std::unique_ptr<modular::MultimodularPrs> mprs;
+
   Tree tree;
   struct NodeScratch {
     PolyMat22 w;                              // U_k * T_left
     std::vector<BigInt> points;               // sentinels + merged ys
     std::vector<InterleavePointInfo> infos;   // PREINTERVAL outputs
     std::vector<IntervalStats> stats;         // per-interval stats
+    std::unique_ptr<modular::ModularCombine> mcombine;  // modular nodes only
   };
   std::vector<NodeScratch> scratch;
 
@@ -128,11 +142,70 @@ class GraphBuilder {
     q_ready_[static_cast<std::size_t>(i)] = q;
   }
 
+  /// Stage 1 on the multimodular engine: per-prime image tasks fan out
+  /// with no dependencies at all, a prep barrier builds the CRT basis,
+  /// over-provisioned chunk tasks reconstruct, and one publish task
+  /// installs the sequence (or recomputes exactly when the engine declined
+  /// -- the exact path owns the extended/non-normal diagnostics, and its
+  /// exceptions reach the caller's sequential-fallback handler unchanged).
+  void build_modular_remainder_stage() {
+    RunState& st = st_;
+    const int n = st.n;
+    auto& prs = *st.mprs;
+
+    const auto chunks = std::max<std::size_t>(
+        16, static_cast<std::size_t>(4 * std::max(1, pc_.num_threads)));
+    const TaskId prep = g_.add(TaskKind::kModPrep, -1,
+                               [&prs, chunks] { prs.prepare_crt(chunks); });
+    for (std::size_t s = 0; s < prs.num_slots(); ++s) {
+      const TaskId img =
+          g_.add(TaskKind::kPrimeImage, static_cast<std::int32_t>(s),
+                 [&prs, s] { prs.run_image(s); });
+      g_.add_edge(img, prep);
+    }
+    const TaskId publish = g_.add(TaskKind::kModPublish, -1, [&st] {
+      auto rs = st.mprs->finalize();
+      RemainderSequence full =
+          rs ? std::move(*rs) : compute_remainder_sequence(st.work);
+      if (full.extended()) {
+        throw NonNormalSequence("repeated roots detected");
+      }
+      if (real_root_count(full) != st.n) {
+        throw NonNormalSequence("input has non-real roots");
+      }
+      instr::PhaseScope phase(instr::Phase::kRemainder);
+      st.rs = std::move(full);
+      for (int i = 1; i <= st.n - 1; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        st.q0[ui] = st.rs.Q[ui].coeff(0);
+        st.q1[ui] = st.rs.Q[ui].coeff(1);
+        st.ci_sq[ui] = st.rs.c[ui] * st.rs.c[ui];
+        st.cprev_sq[ui] = st.rs.c[ui - 1] * st.rs.c[ui - 1];
+      }
+    });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const TaskId crt =
+          g_.add(TaskKind::kModCrt, static_cast<std::int32_t>(c),
+                 [&prs, c] { prs.run_crt(c); });
+      g_.add_edge(prep, crt);
+      g_.add_edge(crt, publish);
+    }
+    for (int k = 1; k <= n; ++k) mark_[static_cast<std::size_t>(k)] = publish;
+    for (int i = 1; i <= n - 1; ++i) {
+      q_ready_[static_cast<std::size_t>(i)] = publish;
+    }
+  }
+
   void build_remainder_stage() {
     RunState& st = st_;
     const int n = st.n;
     mark_.assign(static_cast<std::size_t>(n) + 1, -1);
     q_ready_.assign(static_cast<std::size_t>(n), -1);
+
+    if (st.mprs != nullptr) {
+      build_modular_remainder_stage();
+      return;
+    }
 
     const TaskId seed = g_.add(TaskKind::kSeed, 0, [&st] {
       instr::PhaseScope phase(instr::Phase::kRemainder);
@@ -341,6 +414,11 @@ class GraphBuilder {
     const TaskId right_ready = t_ready_[static_cast<std::size_t>(nd.right)];
     const TaskId uk_ready = q_ready_[static_cast<std::size_t>(k)];
 
+    if (modular_combine_gate(nd)) {
+      build_modular_combine_tasks(idx, k, left_ready, right_ready, uk_ready);
+      return;
+    }
+
     TaskId me1[2][2];
     for (int r = 0; r < 2; ++r) {
       for (int c = 0; c < 2; ++c) {
@@ -383,6 +461,89 @@ class GraphBuilder {
     });
     for (int r = 0; r < 2; ++r) {
       for (int c = 0; c < 2; ++c) g_.add_edge(me2[r][c], publish);
+    }
+    t_ready_[static_cast<std::size_t>(idx)] = publish;
+  }
+
+  /// Structural gate deciding at graph-build time (before any polynomial
+  /// exists) whether an internal node gets the modular combine task shape.
+  /// Deliberately coarse: coefficient bits of T_{i,j} entries grow like
+  /// length * bits(F_0), so estimate (len+2) * beta / 2 with beta =
+  /// 2*||F_0|| + 3*ceil(log2 n) + 2 and compare against min_combine_bits.
+  /// The prep task re-decides with the *exact* bound (worthwhile()); a
+  /// node that passes here but fails there just runs its no-op modular
+  /// tasks and combines exactly in the publish task.
+  bool modular_combine_gate(const TreeNode& nd) const {
+    const RunState& st = st_;
+    if (!st.modular.enabled) return false;
+    const int width = std::max(1, st.modular.tree_task_width);
+    if (nd.length() < 2 * width) return false;
+    const std::size_t beta =
+        2 * st.work.max_coeff_bits() +
+        3 * ceil_log2_sz(static_cast<std::size_t>(st.n) + 1) + 2;
+    const std::size_t estimate =
+        (static_cast<std::size_t>(nd.length()) + 2) * beta / 2;
+    return estimate >= st.modular.min_combine_bits;
+  }
+
+  /// Modular COMPUTEPOLY: prep (select primes from the exact bound) ->
+  /// width strided image-block tasks -> four per-entry CRT tasks ->
+  /// publish.  Every stage no-ops when prep found the combine not
+  /// worthwhile; publish then falls back to the exact t_combine inline.
+  void build_modular_combine_tasks(int idx, int k, TaskId left_ready,
+                                   TaskId right_ready, TaskId uk_ready) {
+    RunState& st = st_;
+    const TaskId prep = g_.add(TaskKind::kModPrep, idx, [&st, idx, k] {
+      instr::PhaseScope phase(instr::Phase::kTreePoly);
+      TreeNode& node = st.tree.node(idx);
+      st.scratch[static_cast<std::size_t>(idx)].mcombine =
+          std::make_unique<modular::ModularCombine>(
+              st.tree.node(node.right).t, st.tree.node(node.left).t, st.rs,
+              k, st.modular);
+    });
+    g_.add_edge(left_ready, prep);
+    g_.add_edge(right_ready, prep);
+    g_.add_edge(uk_ready, prep);
+
+    const int width = std::max(1, st.modular.tree_task_width);
+    std::vector<TaskId> blocks;
+    blocks.reserve(static_cast<std::size_t>(width));
+    for (int w = 0; w < width; ++w) {
+      const TaskId b = g_.add(TaskKind::kModBlock, idx, [&st, idx, w, width] {
+        st.scratch[static_cast<std::size_t>(idx)].mcombine->run_images(
+            static_cast<std::size_t>(w), static_cast<std::size_t>(width));
+      });
+      g_.add_edge(prep, b);
+      blocks.push_back(b);
+    }
+    TaskId entries[2][2];
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) {
+        entries[r][c] = g_.add(TaskKind::kModCrt, idx, [&st, idx, r, c] {
+          st.scratch[static_cast<std::size_t>(idx)].mcombine
+              ->reconstruct_entry(r, c);
+        });
+        for (TaskId b : blocks) g_.add_edge(b, entries[r][c]);
+      }
+    }
+    const TaskId publish = g_.add(TaskKind::kModPublish, idx, [&st, idx, k] {
+      TreeNode& node = st.tree.node(idx);
+      auto& sc = st.scratch[static_cast<std::size_t>(idx)];
+      if (sc.mcombine->worthwhile()) {
+        node.t = sc.mcombine->take_result();
+      } else {
+        instr::PhaseScope phase(instr::Phase::kTreePoly);
+        node.t = t_combine(st.tree.node(node.right).t,
+                           st.tree.node(node.left).t, st.rs, k);
+      }
+      sc.mcombine.reset();
+      node.has_t = true;
+      node.poly = node.t.at(1, 1);
+      check_internal(node.poly.degree() == node.length(),
+                     "modular COMPUTEPOLY: unexpected degree");
+    });
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) g_.add_edge(entries[r][c], publish);
     }
     t_ready_[static_cast<std::size_t>(idx)] = publish;
   }
@@ -484,8 +645,17 @@ ParallelRunResult find_real_roots_parallel(const Poly& p,
   RunState state(work);
   state.mu = config.mu_bits;
   state.solver = config.solver;
+  state.modular = config.modular;
   const std::size_t bound = root_bound_pow2(work);
   state.bound_scaled = BigInt::pow2(bound + config.mu_bits);
+
+  // Stage 1 goes multimodular only when both enabled and big enough; the
+  // explicit sequential_remainder request keeps its one-task exact shape.
+  if (state.modular.enabled && !parallel.sequential_remainder) {
+    auto prs =
+        std::make_unique<modular::MultimodularPrs>(work, state.modular);
+    if (prs->worthwhile()) state.mprs = std::move(prs);
+  }
 
   TaskGraph graph;
   GraphBuilder builder(state, graph, parallel);

@@ -6,6 +6,7 @@
 #include "core/scaled_point.hpp"
 #include "core/tree.hpp"
 #include "core/tree_builder.hpp"
+#include "modular/modular_prs.hpp"
 #include "poly/bounds.hpp"
 #include "poly/remainder_sequence.hpp"
 #include "poly/squarefree.hpp"
@@ -109,8 +110,19 @@ RootReport RealRootFinder::find(const Poly& p) const {
     const BigInt bound_scaled =
         BigInt::pow2(report.bound_pow2 + config_.mu_bits);
     run_tree_sequential(tree, rs, config_.mu_bits, bound_scaled,
-                        config_.solver, &report.stats);
+                        config_.solver, &report.stats, &config_.modular);
     report.roots = tree.node(tree.root_index()).roots;
+  };
+  // The multimodular path never guesses: nullopt (too small, repeated
+  // roots, any irregularity) falls through to the exact computation, which
+  // also owns the extended-sequence and NonNormalSequence diagnostics.
+  const auto compute_rs = [&](const Poly& q) {
+    if (config_.modular.enabled) {
+      auto rs = modular::compute_remainder_sequence_multimodular(
+          q, config_.modular);
+      if (rs) return std::move(*rs);
+    }
+    return compute_remainder_sequence(q);
   };
   const auto reduce_to_squarefree = [&] {
     factors = squarefree_decompose(work);
@@ -124,7 +136,7 @@ RootReport RealRootFinder::find(const Poly& p) const {
                                  work.coeff(1))};
   } else {
     try {
-      RemainderSequence rs = compute_remainder_sequence(work);
+      RemainderSequence rs = compute_rs(work);
       if (rs.extended()) {
         reduce_to_squarefree();
         if (work.degree() == 1) {
@@ -133,7 +145,7 @@ RootReport RealRootFinder::find(const Poly& p) const {
                                        work.coeff(1))};
           rs.F.clear();
         } else {
-          rs = compute_remainder_sequence(work);
+          rs = compute_rs(work);
           check_internal(!rs.extended(),
                          "squarefree input yielded an extended sequence");
         }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/interval_solver.hpp"
+#include "modular/modular_config.hpp"
 #include "poly/poly.hpp"
 
 namespace pr {
@@ -27,6 +28,9 @@ struct RootFinderConfig {
   /// Cross-checks every returned cell against a Sturm count (expensive;
   /// for tests and debugging).
   bool validate = false;
+  /// Multimodular fast paths (remainder sequence + tree combines); off by
+  /// default, bit-identical results when enabled.
+  modular::ModularConfig modular;
 };
 
 struct RootReport {

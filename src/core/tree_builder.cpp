@@ -5,6 +5,7 @@
 #include "core/interval_stage.hpp"
 #include "core/scaled_point.hpp"
 #include "instr/phase.hpp"
+#include "modular/modular_combine.hpp"
 #include "support/error.hpp"
 
 namespace pr {
@@ -31,7 +32,8 @@ BigInt linear_root_approx(const Poly& p, std::size_t mu) {
 
 }  // namespace
 
-void compute_node_poly(Tree& tree, int idx, const RemainderSequence& rs) {
+void compute_node_poly(Tree& tree, int idx, const RemainderSequence& rs,
+                       const modular::ModularConfig* modular) {
   instr::PhaseScope phase(instr::Phase::kTreePoly);
   TreeNode& nd = tree.node(idx);
   const int n = tree.degree();
@@ -58,7 +60,13 @@ void compute_node_poly(Tree& tree, int idx, const RemainderSequence& rs) {
   const TreeNode& rc = tree.node(nd.right);
   check_internal(lc.has_t && rc.has_t,
                  "compute_node_poly: children T not ready");
-  nd.t = t_combine(rc.t, lc.t, rs, nd.split);
+  if (modular != nullptr && modular->enabled) {
+    // nullopt == combine too small to amortize the CRT setup.
+    auto t = modular::modular_t_combine(rc.t, lc.t, rs, nd.split, *modular);
+    nd.t = t ? std::move(*t) : t_combine(rc.t, lc.t, rs, nd.split);
+  } else {
+    nd.t = t_combine(rc.t, lc.t, rs, nd.split);
+  }
   nd.has_t = true;
   nd.poly = nd.t.at(1, 1);
   check_internal(nd.poly.degree() == nd.length(),
@@ -113,9 +121,10 @@ void compute_node_roots(Tree& tree, int idx, std::size_t mu,
 void run_tree_sequential(Tree& tree, const RemainderSequence& rs,
                          std::size_t mu, const BigInt& bound_scaled,
                          const IntervalSolverConfig& config,
-                         IntervalStats* stats) {
+                         IntervalStats* stats,
+                         const modular::ModularConfig* modular) {
   for (int idx : tree.postorder()) {
-    compute_node_poly(tree, idx, rs);
+    compute_node_poly(tree, idx, rs, modular);
   }
   for (int idx : tree.postorder()) {
     compute_node_roots(tree, idx, mu, bound_scaled, config, stats);

@@ -8,13 +8,18 @@
 #include "core/interval_solver.hpp"
 #include "core/interval_stage.hpp"
 #include "core/tree.hpp"
+#include "modular/modular_config.hpp"
 #include "poly/remainder_sequence.hpp"
 
 namespace pr {
 
 /// Computes node.t (where applicable) and node.poly for one node, assuming
 /// its children are done.  The COMPUTEPOLY step of Section 3.2.
-void compute_node_poly(Tree& tree, int idx, const RemainderSequence& rs);
+/// When `modular` is non-null and enabled, internal-node combines whose
+/// coefficient bound clears modular->min_combine_bits run multimodularly
+/// (bit-identical result; see modular/modular_combine.hpp).
+void compute_node_poly(Tree& tree, int idx, const RemainderSequence& rs,
+                       const modular::ModularConfig* modular = nullptr);
 
 /// Merges the children's sorted root vectors into the interleaving-point
 /// sequence for `idx` (the SORT task).  Children must be done.
@@ -44,6 +49,7 @@ void compute_node_roots(Tree& tree, int idx, std::size_t mu,
 void run_tree_sequential(Tree& tree, const RemainderSequence& rs,
                          std::size_t mu, const BigInt& bound_scaled,
                          const IntervalSolverConfig& config,
-                         IntervalStats* stats);
+                         IntervalStats* stats,
+                         const modular::ModularConfig* modular = nullptr);
 
 }  // namespace pr

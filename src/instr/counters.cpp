@@ -1,5 +1,6 @@
 #include "instr/counters.hpp"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -150,12 +151,82 @@ PhaseCounts aggregate() {
   return out;
 }
 
+namespace {
+
+struct ModularAtomics {
+  std::atomic<std::uint64_t> primes_used{0};
+  std::atomic<std::uint64_t> images{0};
+  std::atomic<std::uint64_t> bad_primes{0};
+  std::atomic<std::uint64_t> crt_values{0};
+  std::atomic<std::uint64_t> crt_limbs{0};
+  std::atomic<std::uint64_t> combines{0};
+  std::atomic<std::uint64_t> fallbacks{0};
+};
+
+ModularAtomics& modular_atomics() {
+  static ModularAtomics m;
+  return m;
+}
+
+}  // namespace
+
+void on_modular_primes(std::uint64_t count) {
+  modular_atomics().primes_used.fetch_add(count, std::memory_order_relaxed);
+}
+
+void on_modular_image() {
+  modular_atomics().images.fetch_add(1, std::memory_order_relaxed);
+}
+
+void on_modular_bad_prime() {
+  modular_atomics().bad_primes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void on_modular_crt(std::uint64_t values, std::uint64_t limbs) {
+  auto& m = modular_atomics();
+  m.crt_values.fetch_add(values, std::memory_order_relaxed);
+  m.crt_limbs.fetch_add(limbs, std::memory_order_relaxed);
+}
+
+void on_modular_combine() {
+  modular_atomics().combines.fetch_add(1, std::memory_order_relaxed);
+}
+
+void on_modular_fallback() {
+  modular_atomics().fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+ModularCounts modular_counts() {
+  const auto& m = modular_atomics();
+  ModularCounts c;
+  c.primes_used = m.primes_used.load(std::memory_order_relaxed);
+  c.images = m.images.load(std::memory_order_relaxed);
+  c.bad_primes = m.bad_primes.load(std::memory_order_relaxed);
+  c.crt_values = m.crt_values.load(std::memory_order_relaxed);
+  c.crt_limbs = m.crt_limbs.load(std::memory_order_relaxed);
+  c.combines = m.combines.load(std::memory_order_relaxed);
+  c.fallbacks = m.fallbacks.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_modular() {
+  auto& m = modular_atomics();
+  m.primes_used.store(0, std::memory_order_relaxed);
+  m.images.store(0, std::memory_order_relaxed);
+  m.bad_primes.store(0, std::memory_order_relaxed);
+  m.crt_values.store(0, std::memory_order_relaxed);
+  m.crt_limbs.store(0, std::memory_order_relaxed);
+  m.combines.store(0, std::memory_order_relaxed);
+  m.fallbacks.store(0, std::memory_order_relaxed);
+}
+
 void reset_all() {
   std::lock_guard<std::mutex> lock(registry_mutex());
   for (const auto& b : registry()) {
     b->counts = PhaseCounts{};
     b->total_bits = 0;
   }
+  reset_modular();
 }
 
 std::string format(const PhaseCounts& c) {

@@ -112,7 +112,41 @@ PhaseCounts aggregate();
 
 /// Resets the counters of all registered threads to zero.  Call only when
 /// no other thread is recording (e.g. between bench configurations).
+/// Also clears the modular counters below.
 void reset_all();
+
+// --- multimodular-subsystem counters ---------------------------------------
+// Word-sized field operations are deliberately NOT reported to OpCounts
+// (they are not multi-precision operations; counting them would distort the
+// paper's counter validation).  The modular layer instead records its own
+// volume measures here: how many primes each reconstruction used, how many
+// per-prime images ran, how often a sampled prime was bad (leading
+// coefficient vanished mod p) and had to be replaced, the CRT output volume,
+// and how often the fast path abandoned an input to the exact path.
+// Process-global atomics: cheap enough for per-value updates, and the
+// multimodular work is spread across pool threads anyway.
+
+struct ModularCounts {
+  std::uint64_t primes_used = 0;   ///< primes selected across all bases
+  std::uint64_t images = 0;        ///< per-prime PRS/combine images computed
+  std::uint64_t bad_primes = 0;    ///< primes replaced after lc vanished
+  std::uint64_t crt_values = 0;    ///< coefficients reconstructed by CRT
+  std::uint64_t crt_limbs = 0;     ///< total limbs of reconstructed values
+  std::uint64_t combines = 0;      ///< multimodular t_combine invocations
+  std::uint64_t fallbacks = 0;     ///< fast-path runs abandoned to exact
+};
+
+void on_modular_primes(std::uint64_t count);
+void on_modular_image();
+void on_modular_bad_prime();
+void on_modular_crt(std::uint64_t values, std::uint64_t limbs);
+void on_modular_combine();
+void on_modular_fallback();
+
+/// Snapshot of the modular counters.
+ModularCounts modular_counts();
+/// Clears only the modular counters (reset_all() clears them too).
+void reset_modular();
 
 /// Renders a per-phase summary table (counts + bit costs).
 std::string format(const PhaseCounts& c);

@@ -43,6 +43,12 @@
 #include "linalg/polymat22.hpp"               // IWYU pragma: export
 #include "model/mult_model.hpp"               // IWYU pragma: export
 #include "model/size_bounds.hpp"              // IWYU pragma: export
+#include "modular/crt.hpp"                    // IWYU pragma: export
+#include "modular/modular_combine.hpp"        // IWYU pragma: export
+#include "modular/modular_config.hpp"         // IWYU pragma: export
+#include "modular/modular_prs.hpp"            // IWYU pragma: export
+#include "modular/polyzp.hpp"                 // IWYU pragma: export
+#include "modular/zp.hpp"                     // IWYU pragma: export
 #include "poly/bounds.hpp"                    // IWYU pragma: export
 #include "poly/poly.hpp"                      // IWYU pragma: export
 #include "poly/newton_sums.hpp"               // IWYU pragma: export

@@ -22,6 +22,11 @@ const char* task_kind_name(TaskKind k) {
     case TaskKind::kInterval: return "interval";
     case TaskKind::kLinRoot: return "linroot";
     case TaskKind::kRootsMark: return "rootsmark";
+    case TaskKind::kPrimeImage: return "primeimage";
+    case TaskKind::kModPrep: return "modprep";
+    case TaskKind::kModBlock: return "modblock";
+    case TaskKind::kModCrt: return "modcrt";
+    case TaskKind::kModPublish: return "modpublish";
     case TaskKind::kGeneric: return "generic";
   }
   return "?";

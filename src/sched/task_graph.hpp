@@ -35,6 +35,11 @@ enum class TaskKind : std::uint8_t {
   kInterval,     ///< solve one interval problem
   kLinRoot,      ///< exact root of a linear node polynomial
   kRootsMark,    ///< node roots complete (synchronization marker)
+  kPrimeImage,   ///< one per-prime modular image (PRS or combine)
+  kModPrep,      ///< build the CRT basis and partition the reconstruction
+  kModBlock,     ///< strided block of per-prime combine images
+  kModCrt,       ///< reconstruct one chunk of coefficients by CRT
+  kModPublish,   ///< finalize a multimodular result (or fall back to exact)
   kGeneric,
 };
 

@@ -3,8 +3,11 @@
 #include <sstream>
 
 #include "core/scaled_point.hpp"
+#include "modular/polyzp.hpp"
+#include "modular/zp.hpp"
 #include "poly/squarefree.hpp"
 #include "poly/sturm.hpp"
+#include "support/error.hpp"
 
 namespace pr {
 
@@ -154,6 +157,51 @@ RootCertificate certify_cells(const Poly& squarefree,
                               const std::vector<BigInt>& roots,
                               std::size_t mu) {
   return certify_impl(squarefree, roots, mu, nullptr, -1);
+}
+
+bool verify_remainder_sequence_mod(const RemainderSequence& rs,
+                                   std::uint64_t prime, std::string* why) {
+  using modular::PolyZp;
+  using modular::PrimeField;
+  using modular::Zp;
+  check_arg(!rs.extended(),
+            "verify_remainder_sequence_mod: requires a normal sequence");
+  check_arg(rs.n >= 1 && rs.F.size() == static_cast<std::size_t>(rs.n) + 1,
+            "verify_remainder_sequence_mod: malformed sequence");
+
+  const PrimeField f(prime);
+  PolyZp prev = PolyZp::from_poly(rs.F[0], f);
+  PolyZp cur = PolyZp::from_poly(rs.F[1], f);
+  // An unlucky prime (a vanished leading coefficient) leaves the rest of
+  // the chain inconclusive, not wrong.
+  if (prev.degree() != rs.n || cur.degree() != rs.n - 1) return true;
+
+  for (int i = 1; i <= rs.n - 1; ++i) {
+    // F_{i+1} = -(c_i^2 / c_{i-1}^2) * (F_{i-1} mod F_i), with the
+    // Appendix-A convention c_0^2 == 1.  Field division makes this
+    // machinery disjoint from the integer recurrence being checked.
+    const Zp ci = cur.leading();
+    const Zp cp = i == 1 ? f.one() : prev.leading();
+    PolyZp q, r;
+    PolyZp::divmod(prev, cur, f, q, r);
+    const Zp scale = f.mul(f.mul(ci, ci), f.inv(f.mul(cp, cp)));
+    const PolyZp next = r.scaled(f.neg(scale), f);
+
+    const PolyZp expect =
+        PolyZp::from_poly(rs.F[static_cast<std::size_t>(i) + 1], f);
+    if (expect.degree() != rs.n - i - 1) return true;  // inconclusive
+    if (!(next == expect)) {
+      if (why != nullptr) {
+        *why += "F_" + std::to_string(i + 1) +
+                " does not reduce to its mod-" + std::to_string(prime) +
+                " image";
+      }
+      return false;
+    }
+    prev = std::move(cur);
+    cur = next;
+  }
+  return true;
 }
 
 }  // namespace pr

@@ -24,6 +24,7 @@
 
 #include "core/root_finder.hpp"
 #include "poly/poly.hpp"
+#include "poly/remainder_sequence.hpp"
 
 namespace pr {
 
@@ -59,5 +60,18 @@ RootCertificate certify(const Poly& p, const RootReport& report);
 RootCertificate certify_cells(const Poly& squarefree,
                               const std::vector<BigInt>& roots,
                               std::size_t mu);
+
+/// Independent spot-check of a *normal* remainder sequence at one prime:
+/// recomputes the image sequence over Z/p by *field division* (true
+/// remainders, F_{i+1} = -(c_i^2/c_{i-1}^2) * (F_{i-1} mod F_i)) -- not
+/// the integer coefficient recurrence the library computes with -- and
+/// compares it against the reduction of every stored F_i.  Returns false
+/// on any mismatch.  A prime at which some leading coefficient vanishes
+/// makes the remaining levels inconclusive; the check then stops early and
+/// passes (pick another prime).  `prime` must be an odd prime below 2^62.
+/// Appends a diagnostic to `why` (if non-null) on failure.
+bool verify_remainder_sequence_mod(const RemainderSequence& rs,
+                                   std::uint64_t prime,
+                                   std::string* why = nullptr);
 
 }  // namespace pr
