@@ -8,17 +8,28 @@
 //   * stage:    prs + tree combined -- the part of the pipeline the
 //               multimodular subsystem accelerates;
 //   * pipeline: the full parallel root finder at equal thread counts with
-//               the subsystem off vs on.
+//               the subsystem off vs on;
+//   * *-ntt:    degree-128/256 ablation rows where both arms are modular
+//               and only this iteration's features (NTT, batching, CRT
+//               waves) differ (the exact pipeline is too slow to serve as
+//               a baseline at those degrees);
+//   * combine-ntt: a standalone fused-frequency-domain tree combine on
+//               long matrix entries with a small prime set -- the
+//               convolution-bound shape where the NTT carries the cost.
 //
 // Every modular result is checked bit-identical against the exact one
 // before its timing is reported.  Writes BENCH_modular.json at the repo
 // root (override with --out <path>).
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <functional>
+#include <limits>
 
 #include "bench_common.hpp"
 #include "core/tree_builder.hpp"
+#include "linalg/polymat22.hpp"
+#include "modular/modular_combine.hpp"
 
 namespace {
 
@@ -193,6 +204,163 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- this-PR ablation at large degree -----------------------------------
+  // Degrees 128/256.  The exact pipeline is unaffordable as a baseline
+  // here; the "exact" column is the modular subsystem itself with this
+  // iteration's features disabled -- schoolbook convolutions, one task
+  // per image, inline (non-wave) CRT -- so these rows isolate what the
+  // NTT + batching + wave-parallel CRT buy together.  Honest finding,
+  // reproduced by these rows: on all-real-root (paper-shape) inputs the
+  // per-prime stage at degree >= 128 is dominated by input reduction and
+  // CRT reconstruction (prime counts in the thousands), NOT by
+  // convolutions, so the stage-level ratios hover near 1x on one core
+  // and the NTT's wins live in the kernel (BENCH_ntt.json) and in
+  // combine shapes with small prime sets (the combine-ntt rows below).
+  // Both variants are checked bit-identical before (or while) timed.
+  std::vector<Input> big;
+  {
+    pr::Prng rng(0x17a);
+    big.push_back({"jacobi-128", pr::random_jacobi_poly(128, 9, rng)});
+    big.push_back({"jacobi-256", pr::random_jacobi_poly(256, 9, rng)});
+  }
+  const auto baseline_cfg = [&](int threads) {
+    auto m = modular_cfg(threads);
+    m.use_ntt = false;
+    m.batch_images = false;
+    m.crt_wave_min_work = std::numeric_limits<std::size_t>::max();
+    return m;
+  };
+  const int big_repeats = full ? 3 : 1;
+  for (const auto& in : big) {
+    const int n = in.poly.degree();
+    const bool huge = n >= 200;  // single-run, P=8-only cells
+
+    const auto rs_new = pr::modular::compute_remainder_sequence_multimodular(
+        in.poly, modular_cfg(1));
+    const auto rs_old = pr::modular::compute_remainder_sequence_multimodular(
+        in.poly, baseline_cfg(1));
+    if (!rs_new || !rs_old || !sequences_equal(*rs_new, *rs_old)) {
+      std::cerr << "ablation sequence mismatch for " << in.name << "\n";
+      return 1;
+    }
+
+    for (int threads : {1, 8}) {
+      if (huge && threads == 1 && !full) continue;
+      const auto old_t = baseline_cfg(threads);
+      const auto new_t = modular_cfg(threads);
+      const double old_prs = timed_best(big_repeats, [&] {
+        pr::modular::compute_remainder_sequence_multimodular(in.poly, old_t);
+      });
+      const double new_prs = timed_best(big_repeats, [&] {
+        pr::modular::compute_remainder_sequence_multimodular(in.poly, new_t);
+      });
+      emit({"prs-ntt", in.name, n, threads, old_prs, new_prs});
+      if (huge) continue;  // tree CRT at 256 is minutes per arm
+      const double old_tree = timed_best(
+          big_repeats, [&] { build_tree_polys(in.poly, *rs_new, &old_t); });
+      const double new_tree = timed_best(
+          big_repeats, [&] { build_tree_polys(in.poly, *rs_new, &new_t); });
+      emit({"tree-ntt", in.name, n, threads, old_tree, new_tree});
+      emit({"stage-ntt", in.name, n, threads, old_prs + old_tree,
+            new_prs + new_tree});
+    }
+
+    // Full pipeline, modular on in both arms, features off vs on.  The
+    // huge input times the verification runs themselves (one per arm).
+    pr::RootFinderConfig pipe_old;
+    pipe_old.mu_bits = digits_to_bits(4);
+    pipe_old.modular = baseline_cfg(1);
+    pr::RootFinderConfig pipe_new = pipe_old;
+    pipe_new.modular = modular_cfg(1);
+    for (int threads : {1, 8}) {
+      if (huge && threads == 1) continue;
+      pr::ParallelConfig par;
+      par.num_threads = threads;
+      // The verification pass is itself the first timing sample of each
+      // arm (one run per arm is all the huge input gets).
+      auto t0 = Clock::now();
+      const auto ref = pr::find_real_roots_parallel(in.poly, pipe_old, par);
+      double old_pipe = std::chrono::duration<double>(Clock::now() - t0)
+                            .count();
+      t0 = Clock::now();
+      const auto fast = pr::find_real_roots_parallel(in.poly, pipe_new, par);
+      double new_pipe = std::chrono::duration<double>(Clock::now() - t0)
+                            .count();
+      if (ref.used_sequential_fallback || fast.used_sequential_fallback ||
+          ref.report.roots != fast.report.roots) {
+        std::cerr << "ablation pipeline mismatch for " << in.name
+                  << " P=" << threads << "\n";
+        return 1;
+      }
+      if (!huge) {
+        old_pipe = std::min(old_pipe, timed_best(big_repeats, [&] {
+                     pr::find_real_roots_parallel(in.poly, pipe_old, par);
+                   }));
+        new_pipe = std::min(new_pipe, timed_best(big_repeats, [&] {
+                     pr::find_real_roots_parallel(in.poly, pipe_new, par);
+                   }));
+      }
+      emit({"pipeline-ntt", in.name, n, threads, old_pipe, new_pipe});
+    }
+  }
+
+  // --- combine-ntt: the convolution-bound combine shape --------------------
+  // A fabricated unit-scalar combine (all c's 1, so the exact scalar
+  // division is trivial) with long matrix entries of ~44-bit coefficients:
+  // the induction bound needs only a handful of primes, so per-prime
+  // convolutions -- not reduction or CRT -- carry the cost.  Both arms are
+  // modular; only cfg.use_ntt differs, and both are checked bit-identical
+  // to the exact t_combine before timing.
+  {
+    pr::Prng rng(0xc0de);
+    const auto rand_poly = [&rng](int degree) {
+      std::vector<pr::BigInt> c(static_cast<std::size_t>(degree) + 1);
+      for (auto& x : c) x = pr::BigInt(rng.range(-(1LL << 44), 1LL << 44));
+      if (c.back().is_zero()) c.back() = pr::BigInt(1);
+      return pr::Poly(std::move(c));
+    };
+    const auto combine_cfg = [&](bool ntt) {
+      auto m = modular_cfg(1);
+      m.min_combine_bits = 1;
+      m.combine_cost_gate = false;
+      m.use_ntt = ntt;
+      return m;
+    };
+    for (int len : {128, 256}) {
+      pr::RemainderSequence rs;
+      rs.n = 3;
+      rs.nstar = 3;
+      rs.c.assign(4, pr::BigInt(1));
+      rs.Q.assign(3, pr::Poly());
+      rs.Q[2] = rand_poly(1);
+      pr::PolyMat22 tl, tr;
+      for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 2; ++c) {
+          tl.at(r, c) = rand_poly(len - 1);
+          tr.at(r, c) = rand_poly(len - 1);
+        }
+      }
+      const auto off = combine_cfg(false);
+      const auto on = combine_cfg(true);
+      const auto ref = pr::modular::modular_t_combine(tr, tl, rs, 2, off);
+      const auto fast = pr::modular::modular_t_combine(tr, tl, rs, 2, on);
+      if (!ref || !fast || *ref != *fast ||
+          *ref != pr::t_combine(tr, tl, rs, 2)) {
+        std::cerr << "combine-ntt mismatch at entry length " << len << "\n";
+        return 1;
+      }
+      const int c_reps = full ? 20 : 8;
+      const double t_off = timed_best(c_reps, [&] {
+        pr::modular::modular_t_combine(tr, tl, rs, 2, off);
+      });
+      const double t_on = timed_best(c_reps, [&] {
+        pr::modular::modular_t_combine(tr, tl, rs, 2, on);
+      });
+      emit({"combine-ntt", "t-entries-" + std::to_string(len), len, 1, t_off,
+            t_on});
+    }
+  }
+
   // Volume counters for one representative run (largest input, serial).
   pr::instr::reset_modular();
   {
@@ -211,6 +379,13 @@ int main(int argc, char** argv) {
                "equal thread count;\nthe prs image phase scales with threads "
                "(one task per prime slot) while\nreconstruction is "
                "level-sequential (the induction bound chains levels);\n"
-               "bad_primes and fallbacks both 0 on these inputs.\n";
+               "bad_primes and fallbacks both 0 on these inputs.\n"
+               "*-ntt rows compare this PR's features off vs on (both arms "
+               "modular):\non all-real-root inputs those stages are "
+               "reduction/CRT-bound, so near-1x\nis the honest expectation "
+               "on one core -- the NTT's win shows up in the\ncombine-ntt "
+               "rows (convolution-bound, expect >= 2x at entry length 256)\n"
+               "and in BENCH_ntt.json; thread columns only separate on "
+               "multi-core hosts.\n";
   return 0;
 }

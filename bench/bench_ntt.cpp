@@ -1,0 +1,143 @@
+// NTT vs schoolbook mod-p polynomial multiplication.
+//
+// Times one 64-bit-prime product at each length (equal-length operands,
+// best of several runs, amortized over an iteration batch sized so every
+// cell does comparable total work), for both kernels:
+//   * schoolbook: PolyZp::mul_schoolbook, the O(l^2) Montgomery MAC loop;
+//   * ntt:        ntt_mul with the dispatch gate bypassed (the kernel is
+//                 invoked directly so below-cutoff lengths are measured
+//                 too -- that is what calibrates the cutoff).
+// Also reports which kernel ntt_profitable() picks at each length, so a
+// miscalibrated kNttButterflyUnits shows up as a "pick" column that
+// disagrees with the measured speedup crossing 1.0.
+//
+// Every NTT product is checked bit-identical against schoolbook before
+// timing.  Writes BENCH_ntt.json at the repo root (override with --out).
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "modular/ntt.hpp"
+#include "modular/polyzp.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using pr::modular::NttTables;
+using pr::modular::PolyZp;
+using pr::modular::PrimeField;
+using pr::modular::Zp;
+
+struct Row {
+  std::size_t len;
+  double school_ns;  // per product
+  double ntt_ns;     // per product
+  bool ntt_picked;   // what the dispatch cost model chooses
+  double speedup() const { return school_ns / ntt_ns; }
+};
+
+double timed_best(int repeats, const std::function<void()>& body) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    body();
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::string out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) return argv[i + 1];
+  }
+  return prbench::canonical_out_path("BENCH_ntt.json");
+}
+
+PolyZp random_poly(std::size_t len, const PrimeField& f, pr::Prng& rng) {
+  std::vector<Zp> c(len);
+  for (auto& x : c) x = f.from_u64(rng.next());
+  if (c.back().v == 0) c.back() = f.one();
+  return PolyZp(std::move(c));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prbench;
+  const bool full = has_flag(argc, argv, "--full");
+  print_header("NTT vs schoolbook modular convolution",
+               "extension; multimodular substrate of Sections 3.1/3.2");
+
+  const int repeats = full ? 7 : 5;
+  const std::uint64_t p = pr::modular::nth_modulus(0);
+  const PrimeField& f = NttTables::for_prime(p).field();
+  pr::Prng rng(0xbe9c);
+
+  std::vector<std::size_t> lengths = {8, 16, 24, 32, 48, 64, 128, 256, 512};
+  if (full) {
+    lengths.push_back(1024);
+    lengths.push_back(2048);
+  }
+
+  std::vector<Row> rows;
+  pr::TextTable table({5, 12, 12, 8, -7});
+  std::cout << "prime p = " << p << ", equal-length operands, best of "
+            << repeats << " runs\n\n"
+            << table.row({"len", "school ns", "ntt ns", "speedup", "pick"})
+            << "\n"
+            << table.rule() << "\n";
+
+  for (const std::size_t len : lengths) {
+    const PolyZp a = random_poly(len, f, rng);
+    const PolyZp b = random_poly(len, f, rng);
+
+    // Bit-identity first; only verified kernels get timed.
+    const PolyZp ref = a.mul_schoolbook(b, f);
+    if (!(pr::modular::ntt_mul(a, b, f) == ref)) {
+      std::cerr << "ntt/schoolbook mismatch at len " << len << "\n";
+      return 1;
+    }
+
+    // Size the iteration batch so each timed run does ~comparable work.
+    const std::size_t iters =
+        std::max<std::size_t>(1, (1u << 21) / (len * len)) * 4;
+    volatile std::uint64_t sink = 0;
+    const double school = timed_best(repeats, [&] {
+      for (std::size_t i = 0; i < iters; ++i) {
+        sink += a.mul_schoolbook(b, f).coeff(len - 1).v;
+      }
+    });
+    const double ntt = timed_best(repeats, [&] {
+      for (std::size_t i = 0; i < iters; ++i) {
+        sink += pr::modular::ntt_mul(a, b, f).coeff(len - 1).v;
+      }
+    });
+    const bool picked = pr::modular::ntt_profitable(len, len);
+    rows.push_back({len, school / iters * 1e9, ntt / iters * 1e9, picked});
+    const Row& r = rows.back();
+    std::cout << table.row({std::to_string(len), pr::fixed(r.school_ns, 0),
+                            pr::fixed(r.ntt_ns, 0), pr::fixed(r.speedup(), 2),
+                            r.ntt_picked ? "ntt" : "school"})
+              << "\n";
+  }
+
+  const std::string path = out_path(argc, argv);
+  std::ofstream os(path);
+  os.precision(6);
+  os << "{\n  \"bench\": \"ntt\",\n  \"prime\": " << p << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"len\": " << r.len << ", \"schoolbook_ns\": " << r.school_ns
+       << ", \"ntt_ns\": " << r.ntt_ns << ", \"speedup\": " << r.speedup()
+       << ", \"dispatch_picks_ntt\": " << (r.ntt_picked ? "true" : "false")
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nwrote " << rows.size() << " rows to " << path << "\n"
+            << "\nexpected: speedup crosses 1.0 where the pick column flips "
+               "(cost-model\ncalibration), and reaches >= 3x by length 512.\n";
+  return 0;
+}

@@ -142,25 +142,28 @@ class GraphBuilder {
     q_ready_[static_cast<std::size_t>(i)] = q;
   }
 
-  /// Stage 1 on the multimodular engine: per-prime image tasks fan out
-  /// with no dependencies at all, a prep barrier builds the CRT basis,
-  /// over-provisioned chunk tasks reconstruct, and one publish task
-  /// installs the sequence (or recomputes exactly when the engine declined
-  /// -- the exact path owns the extended/non-normal diagnostics, and its
-  /// exceptions reach the caller's sequential-fallback handler unchanged).
+  /// Stage 1 on the multimodular engine: batched per-prime image tasks
+  /// fan out with no dependencies at all, a prep barrier builds the CRT
+  /// basis, each reconstruction level chains prepare -> waves -> finish
+  /// (levels sequential, the Garner dots within a level fanned out), and
+  /// one publish task installs the sequence (or recomputes exactly when
+  /// the engine declined -- the exact path owns the extended/non-normal
+  /// diagnostics, and its exceptions reach the caller's
+  /// sequential-fallback handler unchanged).
   void build_modular_remainder_stage() {
     RunState& st = st_;
     const int n = st.n;
     auto& prs = *st.mprs;
+    const int threads = std::max(1, pc_.num_threads);
 
-    const auto chunks = std::max<std::size_t>(
-        16, static_cast<std::size_t>(4 * std::max(1, pc_.num_threads)));
+    const auto waves =
+        std::min<std::size_t>(16, static_cast<std::size_t>(2 * threads));
     const TaskId prep = g_.add(TaskKind::kModPrep, -1,
-                               [&prs, chunks] { prs.prepare_crt(chunks); });
-    for (std::size_t s = 0; s < prs.num_slots(); ++s) {
+                               [&prs, waves] { prs.prepare_crt(waves); });
+    for (std::size_t t = 0; t < prs.num_image_tasks(threads); ++t) {
       const TaskId img =
-          g_.add(TaskKind::kPrimeImage, static_cast<std::int32_t>(s),
-                 [&prs, s] { prs.run_image(s); });
+          g_.add(TaskKind::kPrimeImage, static_cast<std::int32_t>(t),
+                 [&prs, t, threads] { prs.run_image_batch(t, threads); });
       g_.add_edge(img, prep);
     }
     const TaskId publish = g_.add(TaskKind::kModPublish, -1, [&st] {
@@ -183,13 +186,24 @@ class GraphBuilder {
         st.cprev_sq[ui] = st.rs.c[ui - 1] * st.rs.c[ui - 1];
       }
     });
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const TaskId crt =
-          g_.add(TaskKind::kModCrt, static_cast<std::int32_t>(c),
-                 [&prs, c] { prs.run_crt(c); });
-      g_.add_edge(prep, crt);
-      g_.add_edge(crt, publish);
+    TaskId prev = prep;
+    for (std::size_t l = 1; l <= prs.num_levels(); ++l) {
+      const int i = static_cast<int>(l);
+      const TaskId lp = g_.add(TaskKind::kModPrep, i,
+                               [&prs, i] { prs.prepare_level(i); });
+      g_.add_edge(prev, lp);
+      const TaskId fin = g_.add(TaskKind::kModPublish, i,
+                                [&prs, i] { prs.finish_level(i); });
+      for (std::size_t w = 0; w < waves; ++w) {
+        const TaskId wt =
+            g_.add(TaskKind::kModCrt, static_cast<std::int32_t>(w),
+                   [&prs, i, w] { prs.run_crt_wave(i, w); });
+        g_.add_edge(lp, wt);
+        g_.add_edge(wt, fin);
+      }
+      prev = fin;
     }
+    g_.add_edge(prev, publish);
     for (int k = 1; k <= n; ++k) mark_[static_cast<std::size_t>(k)] = publish;
     for (int i = 1; i <= n - 1; ++i) {
       q_ready_[static_cast<std::size_t>(i)] = publish;

@@ -26,6 +26,12 @@
 // PrsBound computes the two norms exactly (as BigInt sums of squares) and
 // exposes the per-index bit bound; callers take enough leading primes that
 // the product exceeds 2^{bits+2} (one bit for sign, one for slack).
+//
+// The bit accounting uses each prime's actual floor(log2 p) (prefix sums
+// below), never an assumed magnitude, so it survived the table switch to
+// NTT-friendly primes (p == 1 mod 2^20, zp.hpp) unchanged: those primes
+// still all exceed 2^61 for any realistic prefix, each contributing 61
+// guaranteed bits.
 #pragma once
 
 #include <cstddef>

@@ -5,6 +5,7 @@
 
 #include "instr/counters.hpp"
 #include "instr/phase.hpp"
+#include "modular/ntt.hpp"
 #include "modular/polyzp.hpp"
 #include "sched/task_graph.hpp"
 #include "sched/task_pool.hpp"
@@ -95,6 +96,42 @@ ModularCombine::ModularCombine(const PolyMat22& t_right,
 
   if (bits_t_ < cfg_.min_combine_bits) return;
 
+  // Per-image schoolbook MAC counts of the two matrix products; shared by
+  // the exact-vs-modular gate below and the fused-NTT image decision.
+  double conv_ul = 0, conv_rw = 0;
+  std::size_t max_len = 1;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      for (int t = 0; t < 2; ++t) {
+        conv_ul += static_cast<double>(lu[r][t] * ll[t][c]);
+        conv_rw += static_cast<double>(lr[r][t] * lw[t][c]);
+      }
+      // Output lengths dominate in any non-degenerate chain; folding the
+      // input lengths in keeps N >= every transform operand even when a
+      // structurally zero product column shrinks len_ below an input.
+      max_len = std::max({max_len, len_[r][c], lu[r][c], ll[r][c], lr[r][c]});
+    }
+  }
+
+  // Fused-NTT image decision (structural, hence deterministic): one
+  // transform size N >= every output length makes the whole chain
+  // T = R * (U * L) / s pointwise -- 12 forward + 4 inverse transforms
+  // and ~20 Montgomery multiplies per frequency point, versus the
+  // schoolbook MACs of both products.  Decided here, once, in the same
+  // word-multiply units as the gate below (which then costs the modular
+  // side with whichever convolution strategy won).
+  double conv_units = 3.0 * (conv_ul + conv_rw);
+  if (cfg_.use_ntt && max_len >= 64) {
+    const std::size_t nsz = std::bit_ceil(max_len);
+    const double fused = 16.0 * ntt_transform_cost(nsz) +
+                         60.0 * static_cast<double>(nsz);
+    if (fused < conv_units) {
+      use_ntt_combine_ = true;
+      ntt_size_ = nsz;
+      conv_units = fused;
+    }
+  }
+
   if (cfg_.combine_cost_gate) {
     // Word-multiply cost model (one 64x64 multiply-accumulate == 1 unit;
     // Montgomery ops ~3, they chain two wide multiplies).  Exact side: two
@@ -108,13 +145,9 @@ ModularCombine::ModularCombine(const PolyMat22& t_right,
     const auto limbs = [](std::size_t bits) {
       return static_cast<double>(bits / 64 + 1);
     };
-    double conv_ul = 0, conv_rw = 0, len_out = 0, in_limbs = 0;
+    double len_out = 0, in_limbs = 0;
     for (int r = 0; r < 2; ++r) {
       for (int c = 0; c < 2; ++c) {
-        for (int t = 0; t < 2; ++t) {
-          conv_ul += static_cast<double>(lu[r][t] * ll[t][c]);
-          conv_rw += static_cast<double>(lr[r][t] * lw[t][c]);
-        }
         len_out += static_cast<double>(len_[r][c]);
         in_limbs += static_cast<double>(lu[r][c]) * limbs(bu) +
                     static_cast<double>(ll[r][c]) * limbs(bl) +
@@ -126,7 +159,7 @@ ModularCombine::ModularCombine(const PolyMat22& t_right,
                               len_out * limbs(bits_p) * limbs(bits_s);
     const double np = static_cast<double>(bits_t_ + 2) / 61.0 + 1.0;
     const double mod_cost =
-        np * (2.0 * in_limbs + 3.0 * (conv_ul + conv_rw) + 2500.0) +
+        np * (2.0 * in_limbs + conv_units + 2500.0) +
         len_out * np * np * 1.3 + np * np * 3.0;
     if (mod_cost * 1.2 > exact_cost) return;
   }
@@ -176,6 +209,14 @@ void ModularCombine::run_image(std::size_t slot) {
   // The basis already built the field (Miller-Rabin per construction is
   // not free at hundreds of primes per combine).
   const PrimeField& f = basis_->field(slot);
+  if (use_ntt_combine_ &&
+      NttTables::for_prime(f.prime()).max_size() >= ntt_size_) {
+    // Every table prime supports 2^20-point transforms; the size check
+    // only matters for forced test primes with small 2-adic order, which
+    // fall through to the elementwise path below.
+    run_image_ntt(slot);
+    return;
+  }
   LimbReducer red(f);
   PolyZp rimg[2][2], limg[2][2], uimg[2][2];
   for (int r = 0; r < 2; ++r) {
@@ -187,25 +228,94 @@ void ModularCombine::run_image(std::size_t slot) {
   }
   const Zp inv_s = f.inv(s_imgs_[slot]);
 
+  // Elementwise products still ride the per-convolution NTT dispatch
+  // unless the config pinned schoolbook.
+  const auto mul_cfg = [this, &f](const PolyZp& a, const PolyZp& b) {
+    return cfg_.use_ntt ? a.mul(b, f) : a.mul_schoolbook(b, f);
+  };
+
   PolyZp w[2][2];
   for (int r = 0; r < 2; ++r) {
     for (int c = 0; c < 2; ++c) {
-      w[r][c] = uimg[r][0].mul(limg[0][c], f).add(
-          uimg[r][1].mul(limg[1][c], f), f);
+      w[r][c] = mul_cfg(uimg[r][0], limg[0][c])
+                    .add(mul_cfg(uimg[r][1], limg[1][c]), f);
     }
   }
   auto& rows = rows_[slot];
   rows.assign(4, {});
   for (int r = 0; r < 2; ++r) {
     for (int c = 0; c < 2; ++c) {
-      const PolyZp t = rimg[r][0]
-                           .mul(w[0][c], f)
-                           .add(rimg[r][1].mul(w[1][c], f), f)
+      const PolyZp t = mul_cfg(rimg[r][0], w[0][c])
+                           .add(mul_cfg(rimg[r][1], w[1][c]), f)
                            .scaled(inv_s, f);
       auto& row = rows[static_cast<std::size_t>(2 * r + c)];
       row.resize(len_[r][c]);
       for (std::size_t j = 0; j < row.size(); ++j) {
         row[j] = f.to_u64(t.coeff(j));
+      }
+    }
+  }
+  instr::on_modular_image();
+}
+
+void ModularCombine::run_image_ntt(std::size_t slot) {
+  const PrimeField& f = basis_->field(slot);
+  NttTables& tables = NttTables::for_prime(f.prime());
+  const NttPlan& plan = tables.plan(ntt_size_);
+  const std::size_t n = ntt_size_;
+  LimbReducer red(f);
+  const Zp inv_s = f.inv(s_imgs_[slot]);
+
+  // Twelve forward transforms of the zero-padded input images.  N exceeds
+  // every structural output length, so the cyclic products below equal
+  // the linear ones.
+  const auto load = [&](const Poly& p) {
+    std::vector<Zp> buf(n, Zp{0});
+    const auto& coeffs = p.coeffs();
+    check_internal(coeffs.size() <= n,
+                   "ModularCombine: transform shorter than an input");
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+      buf[j] = red.reduce(coeffs[j]);
+    }
+    ntt_forward(buf, plan, f);
+    return buf;
+  };
+  std::vector<Zp> rf[2][2], lf[2][2], uf[2][2];
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      rf[r][c] = load(tr_.at(r, c));
+      lf[r][c] = load(tl_.at(r, c));
+      uf[r][c] = load(u_.at(r, c));
+    }
+  }
+
+  // Both 2x2 products are pointwise in the frequency domain; W is never
+  // brought back to coefficients.
+  std::vector<Zp> wf[2][2];
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      auto& w = wf[r][c];
+      w.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = f.add(f.mul(uf[r][0][i], lf[0][c][i]),
+                     f.mul(uf[r][1][i], lf[1][c][i]));
+      }
+    }
+  }
+  auto& rows = rows_[slot];
+  rows.assign(4, {});
+  std::vector<Zp> tf(n);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        tf[i] = f.add(f.mul(rf[r][0][i], wf[0][c][i]),
+                      f.mul(rf[r][1][i], wf[1][c][i]));
+      }
+      ntt_inverse(tf, plan, f);
+      auto& row = rows[static_cast<std::size_t>(2 * r + c)];
+      row.resize(len_[r][c]);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] = f.to_u64(f.mul(tf[j], inv_s));
       }
     }
   }

@@ -66,6 +66,11 @@ class ModularCombine {
 
  private:
   void run_image(std::size_t slot);
+  /// Fused frequency-domain image: one transform size N covers the whole
+  /// chain T = R * (U * L) / s, so the twelve inputs are transformed once,
+  /// both 2x2 products happen pointwise, and only the four result entries
+  /// come back -- 16 transforms where the elementwise path needs ~48.
+  void run_image_ntt(std::size_t slot);
 
   const PolyMat22& tr_;
   const PolyMat22& tl_;
@@ -75,6 +80,12 @@ class ModularCombine {
   std::size_t bits_t_ = 0;
   bool worthwhile_ = false;
   std::size_t len_[2][2] = {};  // structural coefficient-count bound per entry
+  /// Fused-NTT image decision, made once in the ctor from structural
+  /// lengths only (deterministic across thread counts).  ntt_size_ is the
+  /// shared transform length (>= every entry's output length, so the
+  /// cyclic convolution is the linear one).
+  bool use_ntt_combine_ = false;
+  std::size_t ntt_size_ = 0;
 
   std::vector<std::uint64_t> primes_;
   /// s mod p per selected prime, Montgomery form -- a byproduct of the

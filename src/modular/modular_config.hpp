@@ -46,6 +46,21 @@ struct ModularConfig {
   /// modular combine node.
   int tree_task_width = 4;
 
+  /// Route mod-p convolutions above the calibrated length cutoff through
+  /// the NTT (modular/ntt.hpp).  Bit-identical either way; off pins every
+  /// convolution to schoolbook (differential tests, cost-model A/B runs).
+  bool use_ntt = true;
+
+  /// Batch several per-prime PRS images into one TaskPool task when the
+  /// per-image cost model says a single image is too small to amortize
+  /// dispatch (below ~degree 40).  Purely a scheduling change.
+  bool batch_images = true;
+
+  /// Fan the per-coefficient Garner dots of one CRT level out across the
+  /// pool only when coefficient_count x prime_count clears this threshold
+  /// (levels below it run the wave loop inline on one task).
+  std::size_t crt_wave_min_work = 4096;
+
   /// After reconstruction, re-verify every image at one held-out prime
   /// (cost ~1/k of the total); a mismatch falls back to the exact path
   /// instead of surfacing a wrong result.

@@ -161,8 +161,39 @@ void MultimodularPrs::run_image(std::size_t slot) {
   }
 }
 
-void MultimodularPrs::prepare_crt(std::size_t target_chunks) {
-  (void)target_chunks;  // see header: reconstruction is level-sequential
+std::size_t MultimodularPrs::image_batch(int threads) const {
+  if (!cfg_.batch_images || eager_ == 0) return 1;
+  // Per-image cost in the word-multiply units of the combine gate: the
+  // recurrence touches ~sum_d 12 d ~ 6 n^2 units of field MACs, one field
+  // inverse per level (~150 units each), and the input reduction pays ~2
+  // units per limb of every coefficient.  Batch until a task clears
+  // kMinTaskUnits (task dispatch is ~2500 units), but keep at least ~2
+  // tasks per worker so batching never serializes a wide pool.
+  constexpr double kMinTaskUnits = 20000.0;
+  const double dn = static_cast<double>(n_);
+  const double in_limbs = static_cast<double>(f0_.max_coeff_bits() / 64 + 1);
+  const double cost =
+      6.0 * dn * dn + 150.0 * dn + 2.0 * (2.0 * dn + 2.0) * in_limbs;
+  auto batch = static_cast<std::size_t>(kMinTaskUnits / cost) + 1;
+  const auto workers = static_cast<std::size_t>(std::max(1, threads));
+  const std::size_t cap = std::max<std::size_t>(1, eager_ / (2 * workers));
+  return std::min(std::max<std::size_t>(1, batch), cap);
+}
+
+std::size_t MultimodularPrs::num_image_tasks(int threads) const {
+  const std::size_t b = image_batch(threads);
+  return (eager_ + b - 1) / b;
+}
+
+void MultimodularPrs::run_image_batch(std::size_t task, int threads) {
+  const std::size_t b = image_batch(threads);
+  const std::size_t first = task * b;
+  const std::size_t last = std::min(first + b, eager_);
+  for (std::size_t s = first; s < last; ++s) run_image(s);
+}
+
+void MultimodularPrs::prepare_crt(std::size_t wave_width) {
+  wave_width_ = std::max<std::size_t>(1, wave_width);
   if (fallback_.load(std::memory_order_acquire)) return;
   std::vector<std::uint64_t> primes;
   primes.reserve(slots_.size());
@@ -175,6 +206,12 @@ void MultimodularPrs::prepare_crt(std::size_t target_chunks) {
   // never has to grow it (only a bad-prime replacement rebuilds it).
   basis_ = std::make_unique<CrtBasis>(std::move(primes));
   images_done_ = eager_;
+  const auto un = static_cast<std::size_t>(n_);
+  fs_.assign(un + 1, Poly{});
+  qs_.assign(un, Poly{});
+  fs_[0] = f0_;
+  fs_[1] = f1_;
+  cprev_sq_ = BigInt(1);  // c_0^2 == 1 by the Appendix-A sign convention
   instr::on_modular_primes(slots_.size());
 }
 
@@ -196,66 +233,88 @@ bool MultimodularPrs::ensure_images(std::size_t k) {
   return true;
 }
 
+void MultimodularPrs::prepare_level(int i) {
+  if (fallback_.load(std::memory_order_acquire) || basis_ == nullptr) return;
+  instr::PhaseScope phase(instr::Phase::kRemainder);
+  const auto ui = static_cast<std::size_t>(i);
+  const Poly& fprev = fs_[ui - 1];
+  const Poly& fcur = fs_[ui];
+  quotient_coeffs(fprev, fcur, lvl_q1_, lvl_q0_);
+  const BigInt& ci = fcur.leading();
+  lvl_ci_sq_ = ci * ci;
+
+  // Induction bound on the coefficients of F_{i+1}: each is a three-term
+  // sum (q0 F_i[j] + q1 F_i[j-1] - c_i^2 F_{i-1}[j]) divided exactly by
+  // c_{i-1}^2, so its magnitude is below
+  //   2^{max-term-bits + 2} / 2^{bits(c_{i-1}^2) - 1},
+  // with one extra slack bit folded in.  The Hadamard bound caps it, so
+  // the slot set (sized for Hadamard at level n) always suffices.
+  const std::size_t bfi = fcur.max_coeff_bits();
+  const std::size_t bfp = fprev.max_coeff_bits();
+  const std::size_t num_bits =
+      std::max({lvl_q0_.bit_length() + bfi, lvl_q1_.bit_length() + bfi,
+                lvl_ci_sq_.bit_length() + bfp}) +
+      3;
+  const std::size_t bcp = cprev_sq_.bit_length();
+  std::size_t bound = num_bits > bcp ? num_bits - bcp + 1 : 1;
+  bound = std::min(bound, bound_.bits_for(i + 1));
+  lvl_k_ = basis_->primes_for_bits(bound);
+  if (!ensure_images(lvl_k_)) return;  // latched the fallback
+
+  const std::size_t cnt = static_cast<std::size_t>(n_) - ui;
+  level_coeffs_.assign(cnt, BigInt());
+  // Fan the level out only when its Garner volume clears the threshold;
+  // the wave partition is j mod level_waves_, so every wave touches a
+  // similar mix of coefficient positions.
+  level_waves_ = cnt * lvl_k_ >= cfg_.crt_wave_min_work
+                     ? std::min(wave_width_, cnt)
+                     : 1;
+}
+
+void MultimodularPrs::run_crt_wave(int i, std::size_t w) {
+  if (w >= level_waves_ || fallback_.load(std::memory_order_acquire) ||
+      basis_ == nullptr) {
+    return;
+  }
+  instr::PhaseScope phase(instr::Phase::kRemainder);
+  const auto ui = static_cast<std::size_t>(i);
+  // Wave-local residue scratch: waves of one level run concurrently.
+  std::vector<std::uint64_t> residues(lvl_k_);
+  for (std::size_t j = w; j < level_coeffs_.size(); j += level_waves_) {
+    for (std::size_t s = 0; s < lvl_k_; ++s) {
+      residues[s] = slots_[s].rows[ui - 1][j];
+    }
+    level_coeffs_[j] = basis_->reconstruct(residues.data(), lvl_k_);
+  }
+}
+
+void MultimodularPrs::finish_level(int i) {
+  if (fallback_.load(std::memory_order_acquire) || basis_ == nullptr) return;
+  instr::PhaseScope phase(instr::Phase::kRemainder);
+  const auto ui = static_cast<std::size_t>(i);
+  Poly fnext(std::move(level_coeffs_));
+  level_coeffs_.clear();
+  if (fnext.degree() != n_ - i - 1) {
+    // The reconstruction contradicts normality; the exact path will
+    // either produce the extended sequence or throw NonNormalSequence.
+    latch_fallback();
+    return;
+  }
+  qs_[ui] = Poly(std::vector<BigInt>{std::move(lvl_q0_), std::move(lvl_q1_)});
+  fs_[ui + 1] = std::move(fnext);
+  cprev_sq_ = std::move(lvl_ci_sq_);
+}
+
 void MultimodularPrs::run_crt(std::size_t chunk) {
   if (chunk != 0 || fallback_.load(std::memory_order_acquire) ||
       basis_ == nullptr) {
     return;
   }
-  instr::PhaseScope phase(instr::Phase::kRemainder);
-
-  const auto un = static_cast<std::size_t>(n_);
-  fs_.assign(un + 1, Poly{});
-  qs_.assign(un, Poly{});
-  fs_[0] = f0_;
-  fs_[1] = f1_;
-
-  BigInt cprev_sq(1);  // c_0^2 == 1 by the Appendix-A sign convention
-  std::vector<std::uint64_t> residues(slots_.size());
   for (int i = 1; i <= n_ - 1; ++i) {
-    const auto ui = static_cast<std::size_t>(i);
-    const Poly& fprev = fs_[ui - 1];
-    const Poly& fcur = fs_[ui];
-    BigInt q1, q0;
-    quotient_coeffs(fprev, fcur, q1, q0);
-    const BigInt& ci = fcur.leading();
-    BigInt ci_sq = ci * ci;
-
-    // Induction bound on the coefficients of F_{i+1}: each is a three-term
-    // sum (q0 F_i[j] + q1 F_i[j-1] - c_i^2 F_{i-1}[j]) divided exactly by
-    // c_{i-1}^2, so its magnitude is below
-    //   2^{max-term-bits + 2} / 2^{bits(c_{i-1}^2) - 1},
-    // with one extra slack bit folded in.  The Hadamard bound caps it, so
-    // the slot set (sized for Hadamard at level n) always suffices.
-    const std::size_t bfi = fcur.max_coeff_bits();
-    const std::size_t bfp = fprev.max_coeff_bits();
-    const std::size_t num_bits =
-        std::max({q0.bit_length() + bfi, q1.bit_length() + bfi,
-                  ci_sq.bit_length() + bfp}) +
-        3;
-    const std::size_t bcp = cprev_sq.bit_length();
-    std::size_t bound = num_bits > bcp ? num_bits - bcp + 1 : 1;
-    bound = std::min(bound, bound_.bits_for(i + 1));
-    const std::size_t k = basis_->primes_for_bits(bound);
-    if (!ensure_images(k)) return;
-
-    const std::size_t cnt = un - ui;  // coefficient count of F_{i+1}
-    std::vector<BigInt> coeffs(cnt);
-    for (std::size_t j = 0; j < cnt; ++j) {
-      for (std::size_t s = 0; s < k; ++s) {
-        residues[s] = slots_[s].rows[ui - 1][j];
-      }
-      coeffs[j] = basis_->reconstruct(residues.data(), k);
-    }
-    Poly fnext(std::move(coeffs));
-    if (fnext.degree() != n_ - i - 1) {
-      // The reconstruction contradicts normality; the exact path will
-      // either produce the extended sequence or throw NonNormalSequence.
-      latch_fallback();
-      return;
-    }
-    qs_[ui] = Poly(std::vector<BigInt>{std::move(q0), std::move(q1)});
-    fs_[ui + 1] = std::move(fnext);
-    cprev_sq = std::move(ci_sq);
+    prepare_level(i);
+    for (std::size_t w = 0; w < level_waves_; ++w) run_crt_wave(i, w);
+    finish_level(i);
+    if (fallback_.load(std::memory_order_acquire)) return;
   }
 }
 
@@ -322,28 +381,41 @@ std::optional<RemainderSequence> compute_remainder_sequence_multimodular(
   if (threads == 1) {
     for (std::size_t s = 0; s < prs.num_slots(); ++s) prs.run_image(s);
     prs.prepare_crt(1);
-    for (std::size_t c = 0; c < prs.num_chunks(); ++c) prs.run_crt(c);
+    prs.run_crt(0);
     return prs.finalize();
   }
 
-  // Pool execution: images fan out one task per prime slot, a barrier
-  // builds the basis, then over-provisioned chunk tasks reconstruct.
+  // Pool execution: batched image tasks fan out with no dependencies, a
+  // barrier builds the basis, then each level chains prepare -> waves ->
+  // finish (levels stay sequential through the chain's edges; only the
+  // waves of one level overlap).
   TaskGraph g;
-  const std::size_t target_chunks =
-      std::max<std::size_t>(16, static_cast<std::size_t>(4 * threads));
-  const TaskId prep = g.add(TaskKind::kModPrep, -1, [&prs, target_chunks] {
-    prs.prepare_crt(target_chunks);
-  });
-  for (std::size_t s = 0; s < prs.num_slots(); ++s) {
+  const std::size_t waves =
+      std::min<std::size_t>(16, static_cast<std::size_t>(2 * threads));
+  const TaskId prep = g.add(TaskKind::kModPrep, -1,
+                            [&prs, waves] { prs.prepare_crt(waves); });
+  for (std::size_t t = 0; t < prs.num_image_tasks(threads); ++t) {
     const TaskId img =
-        g.add(TaskKind::kPrimeImage, static_cast<std::int32_t>(s),
-              [&prs, s] { prs.run_image(s); });
+        g.add(TaskKind::kPrimeImage, static_cast<std::int32_t>(t),
+              [&prs, t, threads] { prs.run_image_batch(t, threads); });
     g.add_edge(img, prep);
   }
-  for (std::size_t c = 0; c < target_chunks; ++c) {
-    const TaskId crt = g.add(TaskKind::kModCrt, static_cast<std::int32_t>(c),
-                             [&prs, c] { prs.run_crt(c); });
-    g.add_edge(prep, crt);
+  TaskId prev = prep;
+  for (std::size_t l = 1; l <= prs.num_levels(); ++l) {
+    const int i = static_cast<int>(l);
+    const TaskId lp = g.add(TaskKind::kModPrep, i,
+                            [&prs, i] { prs.prepare_level(i); });
+    g.add_edge(prev, lp);
+    const TaskId fin = g.add(TaskKind::kModPublish, i,
+                             [&prs, i] { prs.finish_level(i); });
+    for (std::size_t w = 0; w < waves; ++w) {
+      const TaskId wt =
+          g.add(TaskKind::kModCrt, static_cast<std::int32_t>(w),
+                [&prs, i, w] { prs.run_crt_wave(i, w); });
+      g.add_edge(lp, wt);
+      g.add_edge(wt, fin);
+    }
+    prev = fin;
   }
   g.validate();
   TaskPool pool(threads, PoolPolicy::kCentralQueue);

@@ -73,17 +73,62 @@ class MultimodularPrs {
   /// (irregularities latch the fallback flag instead).
   void run_image(std::size_t slot);
 
-  /// After *all* images: builds the CRT basis.  target_chunks is accepted
-  /// for scheduling-API stability but reconstruction is level-sequential
-  /// (the induction bound needs level i exact before it can size level
-  /// i+1), so there is a single chunk.
-  void prepare_crt(std::size_t target_chunks);
+  // --- image batching (cfg.batch_images) -----------------------------------
+  // One task per prime is too fine below ~degree 40: a single image costs
+  // ~6 n^2 word multiplies, which rivals task dispatch (~2500 units, the
+  // combine gate's calibrated constant).  The driver asks for a batch
+  // size, schedules num_image_tasks() tasks, and each one images a
+  // contiguous run of slots.  Purely a scheduling regrouping: the same
+  // run_image calls happen in the same per-slot order within a batch.
 
-  std::size_t num_chunks() const { return basis_ != nullptr ? 1 : 0; }
+  /// Slots per image task for the given worker count: enough images to
+  /// clear the dispatch-amortization floor, but never so many that fewer
+  /// than ~2 tasks per worker remain.  1 when batching is disabled.
+  std::size_t image_batch(int threads) const;
+  /// ceil(num_slots / image_batch).
+  std::size_t num_image_tasks(int threads) const;
+  /// Images slots [t*B, min((t+1)*B, num_slots)), B = image_batch(threads).
+  void run_image_batch(std::size_t task, int threads);
 
-  /// Chunk 0 reconstructs the whole sequence level by level; every other
-  /// chunk index is a no-op, so a static task graph may over-provision
-  /// chunk tasks.
+  // --- CRT reconstruction ---------------------------------------------------
+  // Reconstruction stays LEVEL-SEQUENTIAL across levels (the induction
+  // bound needs level i exact before it can size level i+1), but the
+  // per-coefficient Garner dots *within* one level are independent.  The
+  // split API lets the driver chain, per level i in [1, n-1]:
+  //
+  //   prepare_level(i)  ->  run_crt_wave(i, 0..W-1)  ->  finish_level(i)
+  //
+  // with the wave tasks fanned out on the pool.  Waves only read shared
+  // state (slots_, basis_, the level operands); prepare_level owns every
+  // mutation, including inline image escalation, so the graph edges are
+  // the only synchronization needed.  A level whose coefficient x prime
+  // volume is below cfg.crt_wave_min_work collapses to one wave.
+
+  /// After *all* eager images: builds the CRT basis over every selected
+  /// slot and arms the level machinery.  wave_width is the number of wave
+  /// tasks the driver will schedule per level (>= 1; a width the level's
+  /// volume does not justify is ignored level by level).
+  void prepare_crt(std::size_t wave_width);
+
+  /// Number of reconstruction levels (level i builds F_{i+1}).
+  std::size_t num_levels() const {
+    return n_ > 1 ? static_cast<std::size_t>(n_ - 1) : 0;
+  }
+
+  /// Serial head of level i: exact quotients, the induction bound, inline
+  /// image escalation, and the wave partition of the level.  Must run
+  /// after finish_level(i-1) (or prepare_crt for i == 1).
+  void prepare_level(int i);
+  /// Reconstructs coefficients j == w (mod the level's wave count) of
+  /// F_{i+1}.  No-op for w past the level's wave count, so a static graph
+  /// may over-provision wave tasks.  Distinct waves may run concurrently.
+  void run_crt_wave(int i, std::size_t w);
+  /// Serial tail of level i: degree validation and publishing F_{i+1},
+  /// Q_i; latches the fallback on contradiction.
+  void finish_level(int i);
+
+  /// Compatibility driver: chunk 0 runs every level's prepare/waves/finish
+  /// inline; other chunks are no-ops.
   void run_crt(std::size_t chunk);
 
   /// Assembles the sequence (exact Q_i / c_i, degree validation, optional
@@ -127,6 +172,17 @@ class MultimodularPrs {
   std::unique_ptr<CrtBasis> basis_;
   std::vector<Poly> fs_;  // F_0..F_n, filled level-sequentially by run_crt
   std::vector<Poly> qs_;  // Q_1..Q_{n-1} (index i), exact by-products
+
+  // Level-sequential CRT state.  Written by prepare_level / finish_level
+  // (serial by graph construction); waves read it and write disjoint
+  // entries of level_coeffs_.
+  std::size_t wave_width_ = 1;    // driver's per-level wave task count
+  BigInt cprev_sq_;               // c_{i-1}^2 carried across levels
+  BigInt lvl_q0_, lvl_q1_;        // exact quotient coefficients of level i
+  BigInt lvl_ci_sq_;              // c_i^2 of level i
+  std::size_t lvl_k_ = 0;         // primes consumed by level i's bound
+  std::size_t level_waves_ = 1;   // wave count the level's volume justifies
+  std::vector<BigInt> level_coeffs_;  // F_{i+1} coefficients, wave-filled
 };
 
 /// One-call driver: images + CRT on cfg.num_threads pool workers (inline

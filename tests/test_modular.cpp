@@ -82,6 +82,8 @@ TEST(ZpField, ModulusTableIsDistinctPrimesBelow2To62) {
     EXPECT_TRUE(modular::is_prime_u64(p)) << p;
     EXPECT_LT(p, 1ull << 62);
     EXPECT_GT(p, 1ull << 61);  // dense near the top of the range
+    // NTT-friendly by construction: 2-adic order >= 20.
+    EXPECT_EQ(p % (1ull << 20), 1u) << p;
     for (std::uint64_t q : seen) EXPECT_NE(p, q);
     seen.push_back(p);
   }
@@ -343,6 +345,51 @@ TEST(MultimodularPrs, PrimeDividingLeadingCoeffSkippedAtSelection) {
   EXPECT_EQ(instr::modular_counts().bad_primes, 0u);
 }
 
+TEST(MultimodularPrs, BatchAndWaveDeterminismMatrix) {
+  Prng rng(0xba7c4);
+  // Every scheduling-knob combination -- batched vs per-image tasks, waved
+  // vs inline CRT, at 1/2/8 threads -- must reproduce the exact sequence
+  // bit for bit: partitioning is scheduling, never arithmetic.
+  const std::pair<int, long long> cases[] = {{30, 1000000LL}, {60, 40}};
+  for (const auto& [degree, span] : cases) {
+    const Poly f0 = random_poly(degree, span, rng);
+    const RemainderSequence exact = compute_remainder_sequence(f0);
+    for (int threads : {1, 2, 8}) {
+      for (bool batch : {false, true}) {
+        ModularConfig cfg = forced_on(threads);
+        cfg.batch_images = batch;
+        cfg.crt_wave_min_work = 1;  // every level fans out into waves
+        const auto fast =
+            modular::compute_remainder_sequence_multimodular(f0, cfg);
+        ASSERT_TRUE(fast.has_value())
+            << "degree " << degree << " threads " << threads;
+        expect_sequences_equal(exact, *fast, "batch/wave matrix");
+      }
+    }
+  }
+}
+
+TEST(MultimodularPrs, ImageBatchSizingCoversEverySlot) {
+  Prng rng(0xbb);
+  // Degree 26 with wide coefficients: many cheap images, so batching
+  // groups them; more workers shrink the batch to keep the pool fed.
+  const Poly f0 = random_poly(26, 1000000000000LL, rng);
+  ModularConfig cfg = forced_on();
+  modular::MultimodularPrs prs(f0, cfg);
+  ASSERT_TRUE(prs.worthwhile());
+  for (int threads : {1, 2, 8}) {
+    const std::size_t b = prs.image_batch(threads);
+    ASSERT_GE(b, 1u);
+    EXPECT_EQ(prs.num_image_tasks(threads), (prs.num_slots() + b - 1) / b);
+  }
+  EXPECT_GE(prs.image_batch(1), prs.image_batch(8));
+  EXPECT_GT(prs.image_batch(1), 1u) << "cheap images should batch";
+  cfg.batch_images = false;
+  modular::MultimodularPrs unbatched(f0, cfg);
+  EXPECT_EQ(unbatched.image_batch(8), 1u);
+  EXPECT_EQ(unbatched.num_image_tasks(1), unbatched.num_slots());
+}
+
 // --- multimodular tree combine ----------------------------------------------
 
 TEST(ModularCombineTest, MatchesExactCombine) {
@@ -373,6 +420,55 @@ TEST(ModularCombineTest, MatchesExactCombine) {
       modular::modular_t_combine(t13_15, t9_11, rs, 12, forced_on(4));
   ASSERT_TRUE(m2t.has_value());
   EXPECT_EQ(*m2t, t9_15);
+}
+
+TEST(ModularCombineTest, FusedNttCombineMatchesExact) {
+  Prng rng(0xf00d);
+  // A fabricated combine with unit c's (s == 1, so the exact division is
+  // trivially exact) and ~90-coefficient entries: the structural output
+  // lengths clear the fused frequency-domain floor, so run_image_ntt
+  // carries the whole per-prime combine.
+  RemainderSequence rs;
+  rs.n = 3;
+  rs.nstar = 3;
+  rs.c.assign(4, BigInt(1));
+  rs.Q.assign(3, Poly());
+  rs.Q[2] = random_poly(1, 1LL << 44, rng);
+  const auto long_mat = [&rng] {
+    PolyMat22 m;
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) m.at(r, c) = random_poly(89, 1LL << 44, rng);
+    }
+    return m;
+  };
+  const PolyMat22 tl = long_mat();
+  const PolyMat22 tr = long_mat();
+  const PolyMat22 exact = t_combine(tr, tl, rs, 2);
+
+  ModularConfig cfg = forced_on();
+  instr::reset_modular();
+  const auto fused = modular::modular_t_combine(tr, tl, rs, 2, cfg);
+  ASSERT_TRUE(fused.has_value());
+  EXPECT_EQ(*fused, exact);
+  // 16 transforms per slot (12 forward + 4 inverse): proof the fused
+  // frequency-domain path actually carried the combine.
+  EXPECT_GE(instr::modular_counts().ntt_transforms, 16u);
+
+  cfg.use_ntt = false;  // schoolbook images must agree bit for bit
+  instr::reset_modular();
+  const auto elementwise = modular::modular_t_combine(tr, tl, rs, 2, cfg);
+  ASSERT_TRUE(elementwise.has_value());
+  EXPECT_EQ(*elementwise, exact);
+  EXPECT_EQ(instr::modular_counts().ntt_transforms, 0u);
+
+  // A forced low-2-adic prime caps its transform size below the plan, so
+  // that slot falls back to elementwise mid-flight while the other slots
+  // stay fused -- the mixed schedule still reconstructs exactly.
+  ModularConfig mixed = forced_on(4);
+  mixed.forced_primes = {kSmallPrime};
+  const auto m = modular::modular_t_combine(tr, tl, rs, 2, mixed);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, exact);
 }
 
 TEST(ModularCombineTest, SmallCombineDeclines) {
