@@ -1,0 +1,208 @@
+// BigInt multiplication ladder: schoolbook vs Karatsuba vs three-prime NTT.
+//
+// Times one n-limb x n-limb product at each size (best of several runs,
+// amortized over an iteration batch sized so every cell does comparable
+// total work), for each rung of the dispatch ladder:
+//   * schoolbook: the paper's `mp` cost-model baseline (O(n^2) limb MACs);
+//   * karatsuba:  the arena-based recursion (threshold forced to minimum
+//                 so the recursion is exercised at every measured size);
+//   * ntt:        mul_ntt_mag via a dispatch configuration whose NTT
+//                 threshold is forced to minimum, so below-cutoff sizes
+//                 are measured too -- that is what calibrates the cutoff.
+// Also reports which rung MulDispatch::fast() picks at each size, so a
+// miscalibrated ntt_threshold shows up as a "pick" column that disagrees
+// with the measured karatsuba/ntt speedup crossing 1.0.
+//
+// Every Karatsuba and NTT product is checked bit-identical against the
+// slowest rung available at that size before timing.  Schoolbook is only
+// timed up to a size cap (it is O(n^2); the large sizes exist to show the
+// NTT's quasi-linear scaling, not to wait on the baseline).
+//
+// Writes BENCH_bigint.json at the repo root (override with --out).
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "bigint/bigint.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using pr::BigInt;
+using pr::MulDispatch;
+
+struct Row {
+  std::size_t limbs;
+  double school_ns;  // per product; 0 when not timed (above the O(n^2) cap)
+  double kara_ns;
+  double ntt_ns;
+  const char* pick;  // what MulDispatch::fast() selects at this size
+  double speedup() const { return kara_ns / ntt_ns; }
+};
+
+double timed_best(int repeats, const std::function<void()>& body) {
+  double best = 1e100;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = Clock::now();
+    body();
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::string out_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) return argv[i + 1];
+  }
+  return prbench::canonical_out_path("BENCH_bigint.json");
+}
+
+BigInt random_bigint(std::size_t limbs, pr::Prng& rng) {
+  std::vector<std::uint64_t> l(limbs);
+  for (auto& x : l) x = rng.next();
+  if (l.back() == 0) l.back() = 1;
+  return BigInt::from_limbs(l.data(), limbs, /*negative=*/false);
+}
+
+/// Force one rung of the ladder for the duration of a measurement.  4 is
+/// the minimum threshold the dispatch accepts (see MulDispatch docs), so
+/// every measured size >= 8 limbs exercises the forced rung.
+MulDispatch only_schoolbook() { return MulDispatch{}; }
+MulDispatch only_karatsuba() {
+  MulDispatch d;
+  d.karatsuba = true;
+  d.karatsuba_threshold = 4;
+  return d;
+}
+MulDispatch only_ntt() {
+  MulDispatch d;
+  d.ntt = true;
+  d.ntt_threshold = 4;
+  return d;
+}
+
+/// Time `iters` products under dispatch configuration `cfg`.
+double time_mul(const BigInt& a, const BigInt& b, const MulDispatch& cfg,
+                std::size_t iters, int repeats) {
+  BigInt::set_mul_dispatch(cfg);
+  volatile std::uint64_t sink = 0;
+  const double t = timed_best(repeats, [&] {
+    for (std::size_t i = 0; i < iters; ++i) {
+      sink = sink + (a * b).bit_length();
+    }
+  });
+  (void)sink;
+  return t / static_cast<double>(iters) * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prbench;
+  const bool full = has_flag(argc, argv, "--full");
+  print_header("BigInt multiplication: schoolbook vs Karatsuba vs 3-prime NTT",
+               "extension; exact arithmetic substrate of Section 4's mp model");
+
+  const int repeats = full ? 5 : 3;
+  // O(n^2) rung is only timed up to this size; beyond it the baseline
+  // dominates wall time without adding calibration signal.
+  const std::size_t school_cap = 2048;
+  pr::Prng rng(0xb161);
+
+  std::vector<std::size_t> sizes = {8,    16,   24,   32,   64,   128,
+                                    256,  512,  768,  1024, 1536, 2048,
+                                    3072, 4096, 6144, 8192};
+  if (full) {
+    sizes.push_back(12288);
+    sizes.push_back(16384);
+  }
+
+  const MulDispatch saved = BigInt::mul_dispatch();
+  std::vector<Row> rows;
+  pr::TextTable table({6, 9, 12, 12, 12, 9, -7});
+  std::cout << "equal-length operands (64-bit limbs), best of " << repeats
+            << " runs\n\n"
+            << table.row({"limbs", "bits", "school ns", "kara ns", "ntt ns",
+                          "k/n", "pick"})
+            << "\n"
+            << table.rule() << "\n";
+
+  for (const std::size_t n : sizes) {
+    const BigInt a = random_bigint(n, rng);
+    const BigInt b = random_bigint(n, rng);
+
+    // Bit-identity first; only verified rungs get timed.
+    BigInt::set_mul_dispatch(only_karatsuba());
+    const BigInt ref = a * b;
+    BigInt::set_mul_dispatch(only_ntt());
+    if (!(a * b == ref)) {
+      std::cerr << "ntt/karatsuba mismatch at " << n << " limbs\n";
+      BigInt::set_mul_dispatch(saved);
+      return 1;
+    }
+    if (n <= school_cap) {
+      BigInt::set_mul_dispatch(only_schoolbook());
+      if (!(a * b == ref)) {
+        std::cerr << "schoolbook/karatsuba mismatch at " << n << " limbs\n";
+        BigInt::set_mul_dispatch(saved);
+        return 1;
+      }
+    }
+
+    // Size the batches so each rung's timed run does comparable total work.
+    const std::size_t school_iters =
+        std::max<std::size_t>(1, (1u << 22) / (n * n));
+    const std::size_t fast_iters = std::max<std::size_t>(1, (1u << 15) / n);
+
+    Row r{};
+    r.limbs = n;
+    r.school_ns = n <= school_cap ? time_mul(a, b, only_schoolbook(),
+                                             school_iters, repeats)
+                                  : 0.0;
+    r.kara_ns = time_mul(a, b, only_karatsuba(), fast_iters, repeats);
+    r.ntt_ns = time_mul(a, b, only_ntt(), fast_iters, repeats);
+    {
+      const MulDispatch fast = MulDispatch::fast();
+      if (n >= fast.ntt_threshold) {
+        r.pick = "ntt";
+      } else if (n >= fast.karatsuba_threshold) {
+        r.pick = "kara";
+      } else {
+        r.pick = "school";
+      }
+    }
+    rows.push_back(r);
+    std::cout << table.row(
+                     {std::to_string(n), std::to_string(64 * n),
+                      n <= school_cap ? pr::fixed(r.school_ns, 0) : "-",
+                      pr::fixed(r.kara_ns, 0), pr::fixed(r.ntt_ns, 0),
+                      pr::fixed(r.speedup(), 2), r.pick})
+              << "\n";
+  }
+  BigInt::set_mul_dispatch(saved);
+
+  const std::string path = out_path(argc, argv);
+  std::ofstream os(path);
+  os.precision(6);
+  os << "{\n  \"bench\": \"bigint_mul\",\n  \"limb_bits\": 64,\n"
+     << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"limbs\": " << r.limbs << ", \"bits\": " << 64 * r.limbs;
+    if (r.school_ns > 0) os << ", \"schoolbook_ns\": " << r.school_ns;
+    os << ", \"karatsuba_ns\": " << r.kara_ns << ", \"ntt_ns\": " << r.ntt_ns
+       << ", \"ntt_vs_karatsuba_speedup\": " << r.speedup()
+       << ", \"dispatch_pick\": \"" << r.pick << "\"}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nwrote " << rows.size() << " rows to " << path << "\n"
+            << "\nexpected: the k/n speedup crosses 1.0 where the pick "
+               "column flips to ntt\n(MulDispatch::fast()'s ntt_threshold is "
+               "calibrated to that crossover), and\nexceeds 2x well before "
+               "the largest default size.\n";
+  return 0;
+}

@@ -107,12 +107,12 @@ int main(int argc, char** argv) {
     volatile std::uint64_t sink = 0;
     const double school = timed_best(repeats, [&] {
       for (std::size_t i = 0; i < iters; ++i) {
-        sink += a.mul_schoolbook(b, f).coeff(len - 1).v;
+        sink = sink + a.mul_schoolbook(b, f).coeff(len - 1).v;
       }
     });
     const double ntt = timed_best(repeats, [&] {
       for (std::size_t i = 0; i < iters; ++i) {
-        sink += pr::modular::ntt_mul(a, b, f).coeff(len - 1).v;
+        sink = sink + pr::modular::ntt_mul(a, b, f).coeff(len - 1).v;
       }
     });
     const bool picked = pr::modular::ntt_profitable(len, len);

@@ -373,13 +373,31 @@ BigInt pow(const BigInt& base, unsigned exp) {
   return result;
 }
 
-void BigInt::set_karatsuba_enabled(bool on) {
+void BigInt::set_mul_dispatch(const MulDispatch& d) {
   // Release pairs with the acquire load at multiplication sites; see the
-  // contract on detail::karatsuba_flag() in bigint_detail.hpp.
-  detail::karatsuba_flag().store(on, std::memory_order_release);
+  // contract on detail::mul_dispatch_word() in bigint_detail.hpp.
+  detail::mul_dispatch_word().store(detail::encode_mul_dispatch(d),
+                                    std::memory_order_release);
+}
+MulDispatch BigInt::mul_dispatch() {
+  return detail::decode_mul_dispatch(
+      detail::mul_dispatch_word().load(std::memory_order_acquire));
+}
+
+void BigInt::set_karatsuba_enabled(bool on) {
+  // Flag-only update that must not clobber a concurrently installed
+  // threshold/NTT configuration: compare-exchange on the packed word.
+  auto& word = detail::mul_dispatch_word();
+  std::uint64_t cur = word.load(std::memory_order_acquire);
+  std::uint64_t next;
+  do {
+    next = on ? (cur | 1ull) : (cur & ~1ull);
+  } while (!word.compare_exchange_weak(cur, next, std::memory_order_release,
+                                       std::memory_order_acquire));
 }
 bool BigInt::karatsuba_enabled() {
-  return detail::karatsuba_flag().load(std::memory_order_acquire);
+  return (detail::mul_dispatch_word().load(std::memory_order_acquire) &
+          1ull) != 0;
 }
 
 }  // namespace pr

@@ -44,6 +44,48 @@
 
 namespace pr {
 
+/// Multiplication-algorithm selection, applied globally through
+/// BigInt::set_mul_dispatch().  The whole configuration is published as ONE
+/// atomic word and decoded ONCE per multiplication, so a concurrent
+/// reconfiguration can never be observed half-applied (e.g. the Karatsuba
+/// flag from one configuration with the NTT threshold of another) -- the
+/// coherence bug the old standalone Karatsuba flag would have invited as
+/// soon as a second threshold existed.
+///
+/// Thresholds are in limbs of the *smaller* operand.  The ladder is
+/// schoolbook below karatsuba_threshold, Karatsuba between the two, and
+/// the three-prime NTT (bigint_ntt.hpp) above ntt_threshold for operands
+/// within a 3:1 length ratio (beyond that, Karatsuba's recursion splits
+/// the longer operand more cheaply than zero-padding a transform).
+/// Thresholds are clamped to [4, 65535] when stored (4 is the smallest
+/// value for which Karatsuba's size recurrence terminates; read the value
+/// back with BigInt::mul_dispatch() to observe the clamp).
+/// Defaults match the paper's cost model: everything off, schoolbook only.
+struct MulDispatch {
+  bool karatsuba = false;
+  bool ntt = false;
+  /// Smaller-operand limb count at/above which Karatsuba recurses.
+  std::uint32_t karatsuba_threshold = 24;
+  /// Smaller-operand limb count at/above which the NTT path engages;
+  /// default calibrated to the crossover measured by bench_bigint_mul on
+  /// the reference box (see docs/BENCHMARKS.md).  Deliberately a power of
+  /// two: the NTT pads the convolution to the next power of two, so sizes
+  /// just above one (1025..2048 limbs) pay for a double-size transform and
+  /// the crossover is not a smooth curve.
+  std::uint32_t ntt_threshold = 2048;
+
+  /// Everything on at the calibrated thresholds: the fastest exact
+  /// configuration (used by the benches and the large-operand callers).
+  static MulDispatch fast() {
+    MulDispatch d;
+    d.karatsuba = true;
+    d.ntt = true;
+    return d;
+  }
+
+  friend bool operator==(const MulDispatch&, const MulDispatch&) = default;
+};
+
 class BigInt {
  public:
   using Limb = std::uint64_t;
@@ -305,13 +347,21 @@ class BigInt {
 
   friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
 
-  /// Enables/disables the Karatsuba multiplier (default: disabled, to match
-  /// the paper's schoolbook cost model).  Affects all threads; see
-  /// bigint_detail.hpp for the memory-ordering contract.
+  /// Publishes a complete multiplication-dispatch configuration (all
+  /// threads; release-published, decoded once per multiply -- see
+  /// MulDispatch and bigint_detail.hpp for the ordering contract).
+  /// Default: everything off (schoolbook, the paper's cost model).
+  static void set_mul_dispatch(const MulDispatch& d);
+  static MulDispatch mul_dispatch();
+
+  /// Enables/disables the Karatsuba multiplier, preserving the rest of the
+  /// dispatch configuration (compare-exchange on the packed word).
+  /// Equivalent to the pre-MulDispatch global flag.
   static void set_karatsuba_enabled(bool on);
   static bool karatsuba_enabled();
 
-  /// Limb count at/above which Karatsuba recursion is used when enabled.
+  /// Default limb count at/above which Karatsuba recursion is used when
+  /// enabled (MulDispatch::karatsuba_threshold overrides per config).
   static constexpr std::size_t kKaratsubaThreshold = 24;
 
  private:

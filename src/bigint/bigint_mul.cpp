@@ -1,22 +1,25 @@
 // BigInt multiplication: schoolbook (default, matching the paper's `mp`
-// cost model) and Karatsuba (ablation; see bench_ablation_karatsuba), plus
-// the fused addmul/submul kernels.  All products are computed into caller-
-// provided LimbStore/arena buffers, so steady-state multiplication performs
-// no heap allocation.
+// cost model), Karatsuba, and the three-prime NTT (bigint_ntt.hpp), with
+// a single coherent MulDispatch configuration decoded once per multiply.
+// Schoolbook/Karatsuba products are computed into caller-provided
+// LimbStore/arena buffers, so steady-state multiplication performs no heap
+// allocation; the NTT path keeps its transform buffers in a per-thread
+// scratch of its own.
 #include <algorithm>
 #include <cstring>
 
 #include "bigint/bigint.hpp"
 #include "bigint/bigint_detail.hpp"
+#include "bigint/bigint_ntt.hpp"
 #include "instr/counters.hpp"
 
 namespace pr {
 
 namespace detail {
 
-std::atomic<bool>& karatsuba_flag() {
-  static std::atomic<bool> flag{false};
-  return flag;
+std::atomic<std::uint64_t>& mul_dispatch_word() {
+  static std::atomic<std::uint64_t> word{encode_mul_dispatch(MulDispatch{})};
+  return word;
 }
 
 }  // namespace detail
@@ -115,9 +118,9 @@ std::size_t trimmed_len(const Limb* p, std::size_t n) {
 /// Arena limbs needed by kara_rec for operands of at most n limbs:
 /// each level consumes 4*(h+1) limbs (asum, bsum, z1) and recurses on
 /// operands of at most h+1 limbs.
-std::size_t kara_arena_bound(std::size_t n) {
+std::size_t kara_arena_bound(std::size_t n, std::size_t threshold) {
   std::size_t total = 0;
-  while (n >= BigInt::kKaratsubaThreshold) {
+  while (n >= threshold) {
     const std::size_t h = (n + 1) / 2;
     total += 4 * (h + 1);
     n = h + 1;
@@ -126,11 +129,11 @@ std::size_t kara_arena_bound(std::size_t n) {
 }
 
 /// r[0..an+bn) = a * b; r must be zero-filled.  tmp is arena space of at
-/// least kara_arena_bound(max(an, bn)) limbs.
+/// least kara_arena_bound(max(an, bn), threshold) limbs.
 void kara_rec(const Limb* a, std::size_t an, const Limb* b, std::size_t bn,
-              Limb* r, Limb* tmp) {
+              Limb* r, Limb* tmp, std::size_t threshold) {
   if (an == 0 || bn == 0) return;
-  if (std::min(an, bn) < BigInt::kKaratsubaThreshold) {
+  if (std::min(an, bn) < threshold) {
     mul_acc_schoolbook(a, an, b, bn, r);
     return;
   }
@@ -146,13 +149,15 @@ void kara_rec(const Limb* a, std::size_t an, const Limb* b, std::size_t bn,
   Limb* next = tmp + 4 * (h + 1);
 
   // z0 into r[0..alo+blo), z2 into r[2h..an+bn); the gap stays zero.
-  kara_rec(a, alo, b, blo, r, next);
-  if (ahi != 0 && bhi != 0) kara_rec(a + alo, ahi, b + blo, bhi, r + 2 * h, next);
+  kara_rec(a, alo, b, blo, r, next, threshold);
+  if (ahi != 0 && bhi != 0) {
+    kara_rec(a + alo, ahi, b + blo, bhi, r + 2 * h, next, threshold);
+  }
 
   const std::size_t asn = add_spans(a, alo, a + alo, ahi, asum);
   const std::size_t bsn = add_spans(b, blo, b + blo, bhi, bsum);
   std::memset(z1, 0, (asn + bsn) * sizeof(Limb));
-  kara_rec(asum, asn, bsum, bsn, z1, next);
+  kara_rec(asum, asn, bsum, bsn, z1, next, threshold);
 
   // z1 -= z0, z1 -= z2 (subtrahend spans trimmed so they never exceed z1).
   sub_span(z1, r, trimmed_len(r, alo + blo));
@@ -182,14 +187,24 @@ void BigInt::mul_mag(const Limb* a, std::size_t an, const Limb* b,
     if (hi != 0) out[1] = hi;
     return;
   }
-  // Acquire pairs with the release store in set_karatsuba_enabled(); see
-  // the contract on detail::karatsuba_flag().
-  if (detail::karatsuba_flag().load(std::memory_order_acquire) &&
-      std::min(an, bn) >= kKaratsubaThreshold) {
-    const std::size_t need = kara_arena_bound(std::max(an, bn));
+  // ONE acquire load decodes the whole dispatch configuration -- flags and
+  // thresholds stay mutually consistent for this multiply even under a
+  // concurrent set_mul_dispatch (the contract on mul_dispatch_word()).
+  const MulDispatch d = detail::decode_mul_dispatch(
+      detail::mul_dispatch_word().load(std::memory_order_acquire));
+  const std::size_t lo = std::min(an, bn);
+  const std::size_t hi = std::max(an, bn);
+  // NTT wants near-balanced operands: zero-padding the transform to cover
+  // a much longer operand costs more than Karatsuba's recursive splitting,
+  // so the frequency-domain rung is gated to a 3:1 length ratio.
+  if (d.ntt && lo >= d.ntt_threshold && hi <= 3 * lo &&
+      detail::ntt_mul_available(an, bn)) {
+    detail::mul_ntt_mag(a, an, b, bn, out);
+  } else if (d.karatsuba && lo >= d.karatsuba_threshold) {
+    const std::size_t need = kara_arena_bound(hi, d.karatsuba_threshold);
     if (arena.size() < need) arena.resize(need);
     out.assign(an + bn, 0);
-    kara_rec(a, an, b, bn, out.data(), arena.data());
+    kara_rec(a, an, b, bn, out.data(), arena.data(), d.karatsuba_threshold);
   } else {
     out.assign(an + bn, 0);
     mul_acc_schoolbook(a, an, b, bn, out.data());

@@ -1,0 +1,169 @@
+#include "bigint/bigint_ntt.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "modular/crt.hpp"
+#include "modular/ntt.hpp"
+#include "modular/zp.hpp"
+#include "support/error.hpp"
+
+namespace pr::detail {
+
+namespace {
+
+using modular::CrtBasis;
+using modular::NttPlan;
+using modular::NttTables;
+using modular::PrimeField;
+using modular::Zp;
+
+/// Transform-size cap the whole table honors: every table prime satisfies
+/// p == 1 (mod 2^20), so a 2^20-point plan exists at every slot and the
+/// prime selection never has to skip slots (which would desynchronize it
+/// from the Garner basis below).
+constexpr unsigned kMaxConvLog2 = 20;
+
+/// The shared Garner basis over the first kNttMulMaxPrimes table slots,
+/// built once under a lock and immutable afterwards (the same publication
+/// discipline as the NttTables registry -- this is what makes concurrent
+/// multiplies from TaskPool workers safe).
+const CrtBasis& shared_basis() {
+  static std::once_flag once;
+  static std::unique_ptr<CrtBasis> basis;
+  std::call_once(once, [] {
+    std::vector<std::uint64_t> primes(kNttMulMaxPrimes);
+    for (std::size_t i = 0; i < kNttMulMaxPrimes; ++i) {
+      primes[i] = modular::nth_modulus(i);
+    }
+    basis = std::make_unique<CrtBasis>(std::move(primes));
+  });
+  return *basis;
+}
+
+std::size_t ceil_log2(std::size_t n) {
+  std::size_t b = 0;
+  while ((std::size_t{1} << b) < n) ++b;
+  return b;
+}
+
+/// Per-thread transform/residue buffers: the NTT path targets operands of
+/// thousands of limbs, but tree-top combines call it in tight per-node
+/// loops, so the buffers persist across calls like BigInt::Scratch does.
+struct NttMulScratch {
+  std::vector<Zp> fa, fb;
+  std::vector<std::vector<std::uint64_t>> residues;  // [prime][coefficient]
+};
+
+NttMulScratch& tls_ntt_scratch() {
+  thread_local NttMulScratch s;
+  return s;
+}
+
+}  // namespace
+
+std::size_t ntt_mul_prime_count(std::size_t an, std::size_t bn) {
+  // bits(c_j) <= 128 + ceil(log2 min(an, bn)); one extra bit makes the
+  // prime product strictly exceed the bound.  Every table prime guarantees
+  // 61 bits (floor(log2 p) for p just below 2^62), so the count is 3 for
+  // every representable operand pair and the division is still the honest
+  // output-bound derivation the escalation tests exercise.
+  const std::size_t bound_bits = 128 + ceil_log2(std::min(an, bn)) + 1;
+  return shared_basis().primes_for_bits(bound_bits > 2 ? bound_bits - 2 : 1);
+}
+
+bool ntt_mul_available(std::size_t an, std::size_t bn) {
+  if (an == 0 || bn == 0) return false;
+  if (an + bn - 1 < 2) return false;  // 1x1 has its own fast path
+  if (std::bit_ceil(an + bn - 1) > (std::size_t{1} << kMaxConvLog2)) {
+    return false;
+  }
+  // primes_for_bits throws when the basis is too small; availability must
+  // be a pure predicate, so re-derive the count arithmetically.
+  const std::size_t bound_bits = 128 + ceil_log2(std::min(an, bn)) + 1;
+  return (bound_bits + 60) / 61 <= kNttMulMaxPrimes;
+}
+
+void mul_ntt_mag(const std::uint64_t* a, std::size_t an,
+                 const std::uint64_t* b, std::size_t bn, LimbStore& out,
+                 std::size_t forced_primes) {
+  check_internal(ntt_mul_available(an, bn),
+                 "mul_ntt_mag: operands outside the NTT multiply envelope");
+  const CrtBasis& basis = shared_basis();
+  std::size_t k = ntt_mul_prime_count(an, bn);
+  if (forced_primes != 0) {
+    check_arg(forced_primes >= k && forced_primes <= basis.size(),
+              "mul_ntt_mag: forced prime count below the output bound");
+    k = forced_primes;
+  }
+  const std::size_t conv = an + bn - 1;
+  const std::size_t n = std::bit_ceil(conv);
+  const bool squaring = (a == b && an == bn);
+
+  NttMulScratch& s = tls_ntt_scratch();
+  if (s.residues.size() < k) s.residues.resize(k);
+
+  for (std::size_t t = 0; t < k; ++t) {
+    // Transform in the registry field (identical prime, identical
+    // Montgomery constants as the basis field -- both derive from p).
+    NttTables& tables = NttTables::for_prime(basis.field(t).prime());
+    const PrimeField& f = tables.field();
+    const NttPlan& plan = tables.plan(n);
+
+    s.fa.assign(n, Zp{0});
+    for (std::size_t i = 0; i < an; ++i) s.fa[i] = f.from_u64(a[i]);
+    modular::ntt_forward(s.fa, plan, f);
+    if (squaring) {
+      for (Zp& x : s.fa) x = f.mul(x, x);
+    } else {
+      s.fb.assign(n, Zp{0});
+      for (std::size_t i = 0; i < bn; ++i) s.fb[i] = f.from_u64(b[i]);
+      modular::ntt_forward(s.fb, plan, f);
+      for (std::size_t i = 0; i < n; ++i) s.fa[i] = f.mul(s.fa[i], s.fb[i]);
+    }
+    modular::ntt_inverse(s.fa, plan, f);
+
+    auto& res = s.residues[t];
+    res.resize(conv);
+    for (std::size_t i = 0; i < conv; ++i) res[i] = f.to_u64(s.fa[i]);
+  }
+
+  // Carry-propagating assembly: convolution coefficient c_j weighs 2^{64j},
+  // so reconstruct it into a k-limb window and add at offset j.  c_j fits
+  // in 3 limbs (bits <= 128 + 20) and the total is the true product, so
+  // an + bn limbs never overflow.
+  out.assign(an + bn, 0);
+  std::uint64_t* o = out.data();
+  std::uint64_t window[kNttMulMaxPrimes];
+  std::uint64_t rj[kNttMulMaxPrimes];
+  const std::size_t on = an + bn;
+  for (std::size_t j = 0; j < conv; ++j) {
+    for (std::size_t t = 0; t < k; ++t) rj[t] = s.residues[t][j];
+    basis.reconstruct_limbs(rj, k, window);
+    unsigned __int128 carry = 0;
+    std::size_t l = 0;
+    for (; l < k && j + l < on; ++l) {
+      carry += o[j + l];
+      carry += window[l];
+      o[j + l] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    // Window limbs past the output end are zero by the coefficient bound
+    // (c_j < 2^{64(on - j)} for every j); same for a carry out of the top
+    // limb -- every partial sum is a prefix of the true product.
+    for (std::size_t h = l; h < k; ++h) {
+      check_internal(window[h] == 0, "mul_ntt_mag: coefficient bound breach");
+    }
+    for (std::size_t m = j + l; carry != 0; ++m) {
+      carry += o[m];
+      o[m] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+  }
+  out.trim();
+}
+
+}  // namespace pr::detail

@@ -1,0 +1,65 @@
+// Exact BigInt multiplication through three-prime NTT convolution.
+//
+// A magnitude of 64-bit limbs IS a polynomial in the base B = 2^64
+// evaluated at B, so an an x bn limb product is the length-(an + bn - 1)
+// convolution of the limb sequences followed by one carry-propagation
+// sweep.  Each convolution coefficient is bounded by
+//
+//   c_j < min(an, bn) * (2^64 - 1)^2  =>  bits(c_j) <= 128 + ceil(log2 min)
+//
+// so reducing the limbs modulo k NTT-friendly table primes (zp.hpp; 61
+// guaranteed bits each), convolving per prime with the Montgomery NTT
+// (modular/ntt.hpp), and Garner-CRTing the pointwise products back
+// (CrtBasis::reconstruct_limbs) recovers every c_j exactly whenever the
+// prime product exceeds the bound -- three primes (183 bits) cover every
+// operand this library can represent, and the count is still derived from
+// the output bound (ntt_mul_prime_count) so the escalation path exists
+// and is testable.  The final assembly adds each reconstructed c_j at limb
+// offset j with carry -- BigInt::from_limbs territory, done in place here.
+//
+// Determinism and exactness: arithmetic mod p is exact and the prime
+// selection depends only on operand lengths, so the NTT product is
+// bit-identical to schoolbook/Karatsuba for every input -- the dispatch
+// (bigint_mul.cpp, MulDispatch) only ever changes speed.  Thread safety:
+// the per-prime twiddle registry (NttTables) and the shared CrtBasis are
+// built under locks and immutable afterwards; everything else lives in
+// per-call (thread-local) buffers.
+//
+// Internal header (pr::detail): the public entry point is the MulDispatch
+// configuration on BigInt -- see bigint.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bigint/limb_store.hpp"
+
+namespace pr::detail {
+
+/// Largest prime count the shared Garner basis supports.  The output-bound
+/// selection needs 3 for every representable operand pair; the headroom is
+/// what makes forced escalation (tests, future wider digit bases) cheap.
+inline constexpr std::size_t kNttMulMaxPrimes = 8;
+
+/// Number of table primes whose product covers the convolution-coefficient
+/// bound for an an x bn limb product (>= 3 by the 128-bit digit-product
+/// floor).  Pure function of the lengths -- the deterministic part of the
+/// dispatch.
+std::size_t ntt_mul_prime_count(std::size_t an, std::size_t bn);
+
+/// True when the NTT path can run at all: both operands non-empty, the
+/// convolution length fits the table primes' guaranteed 2-adic order
+/// (2^20 points, i.e. operands up to ~2^19 limbs), and the prime count is
+/// within the basis.  Says nothing about speed; see MulDispatch.
+bool ntt_mul_available(std::size_t an, std::size_t bn);
+
+/// out = |a| * |b| via the three-prime NTT; requires ntt_mul_available.
+/// `forced_primes` (test seam) overrides the output-bound prime count with
+/// a larger one -- forcing the escalation path; 0 means "use the bound".
+/// Detects squaring (same base pointer and length) and drops one forward
+/// transform per prime.  out must not alias a or b.
+void mul_ntt_mag(const std::uint64_t* a, std::size_t an,
+                 const std::uint64_t* b, std::size_t bn, LimbStore& out,
+                 std::size_t forced_primes = 0);
+
+}  // namespace pr::detail

@@ -72,12 +72,8 @@ std::size_t CrtBasis::primes_for_bits(std::size_t bits) const {
                       std::to_string(bits) + " bits");
 }
 
-BigInt CrtBasis::reconstruct(const std::uint64_t* residues,
-                             std::size_t k) const {
-  check_internal(k >= 1 && k <= fields_.size(),
-                 "CrtBasis::reconstruct: bad prime count");
-  thread_local std::vector<std::uint64_t> digits;
-  digits.resize(k);
+void CrtBasis::garner_digits(const std::uint64_t* residues, std::size_t k,
+                             std::uint64_t* digits) const {
   digits[0] = residues[0];
   for (std::size_t j = 1; j < k; ++j) {
     const PrimeField& f = fields_[j];
@@ -95,12 +91,14 @@ BigInt CrtBasis::reconstruct(const std::uint64_t* residues,
     if (t >= p) t -= p;
     digits[j] = f.mul_raw(t, inv_[j]);
   }
+}
+
+std::size_t CrtBasis::horner_limbs(const std::uint64_t* digits, std::size_t k,
+                                   std::uint64_t* buf) const {
   // Mixed-radix Horner assembly x = (...(d_{k-1} p_{k-2} + d_{k-2})...),
-  // fused in a raw limb buffer: one multiply-add sweep per digit and a
-  // single BigInt conversion at the end.  The result magnitude is below
-  // the prime product < 2^{62k}, so k limbs always suffice.
-  thread_local std::vector<std::uint64_t> buf;
-  buf.resize(k);
+  // fused in a raw limb buffer: one multiply-add sweep per digit.  The
+  // result magnitude is below the prime product < 2^{62k}, so k limbs
+  // always suffice.
   buf[0] = digits[k - 1];
   std::size_t used = 1;
   for (std::size_t i = k - 1; i-- > 0;) {
@@ -114,10 +112,34 @@ BigInt CrtBasis::reconstruct(const std::uint64_t* residues,
     }
     if (carry != 0) buf[used++] = carry;
   }
+  return used;
+}
+
+BigInt CrtBasis::reconstruct(const std::uint64_t* residues,
+                             std::size_t k) const {
+  check_internal(k >= 1 && k <= fields_.size(),
+                 "CrtBasis::reconstruct: bad prime count");
+  thread_local std::vector<std::uint64_t> digits;
+  digits.resize(k);
+  garner_digits(residues, k, digits.data());
+  thread_local std::vector<std::uint64_t> buf;
+  buf.resize(k);
+  const std::size_t used = horner_limbs(digits.data(), k, buf.data());
   BigInt x = BigInt::from_limbs(buf.data(), used, false);
   if (x > half_products_[k]) x -= products_[k];
   instr::on_modular_crt(1, x.limb_count());
   return x;
+}
+
+void CrtBasis::reconstruct_limbs(const std::uint64_t* residues, std::size_t k,
+                                 std::uint64_t* limbs) const {
+  check_internal(k >= 1 && k <= fields_.size(),
+                 "CrtBasis::reconstruct_limbs: bad prime count");
+  thread_local std::vector<std::uint64_t> digits;
+  digits.resize(k);
+  garner_digits(residues, k, digits.data());
+  const std::size_t used = horner_limbs(digits.data(), k, limbs);
+  for (std::size_t i = used; i < k; ++i) limbs[i] = 0;
 }
 
 PrsBound::PrsBound(const Poly& f0, const Poly& f1) {

@@ -62,7 +62,24 @@ class CrtBasis {
   /// and residues are canonical (non-Montgomery) values.  Thread-safe.
   BigInt reconstruct(const std::uint64_t* residues, std::size_t k) const;
 
+  /// Unsigned raw-limb reconstruction: writes the unique x in [0, M_k)
+  /// matching the residues to limbs[0..k) (little-endian, zero-padded --
+  /// x < M_k < 2^{64k} always fits).  No symmetric lift and no BigInt, so
+  /// per-value callers that assemble many small reconstructions (the
+  /// BigInt NTT multiply recovers one convolution coefficient per output
+  /// limb position) pay zero allocations.  Thread-safe.
+  void reconstruct_limbs(const std::uint64_t* residues, std::size_t k,
+                         std::uint64_t* limbs) const;
+
  private:
+  // Garner mixed-radix digit extraction (digits[0..k)) and the fused
+  // Horner limb assembly shared by both reconstruction flavors;
+  // horner_limbs returns the number of limbs written (<= k).
+  void garner_digits(const std::uint64_t* residues, std::size_t k,
+                     std::uint64_t* digits) const;
+  std::size_t horner_limbs(const std::uint64_t* digits, std::size_t k,
+                           std::uint64_t* buf) const;
+
   std::vector<PrimeField> fields_;
   // w_[j][i], 1 <= i < j: Montgomery form of (p_0...p_{i-1}) mod p_j.
   std::vector<std::vector<Zp>> w_;

@@ -1,0 +1,259 @@
+// Three-prime NTT BigInt multiplication (bigint_ntt.hpp) and the
+// MulDispatch ladder (bigint_mul.cpp).
+//
+// The invariant under test is bit-identity: every rung of the dispatch
+// ladder -- schoolbook, Karatsuba, NTT, and the NTT with a forced larger
+// prime basis -- must produce the same limbs for the same operands, so
+// enabling a fast path can never change a result, only its cost.  All
+// suite names start with BigIntNtt so the TSan CI job's -R regex picks
+// the concurrency tests up.
+#include "bigint/bigint_ntt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "core/parallel_driver.hpp"
+#include "gen/matrix_polys.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+/// Restores the process-wide dispatch configuration on scope exit, so a
+/// failing assertion cannot leak an NTT-enabled dispatch into later tests.
+struct DispatchGuard {
+  MulDispatch saved = BigInt::mul_dispatch();
+  ~DispatchGuard() { BigInt::set_mul_dispatch(saved); }
+};
+
+BigInt random_bigint(std::size_t limbs, bool negative, Prng& rng) {
+  std::vector<std::uint64_t> l(limbs);
+  for (auto& x : l) x = rng.next();
+  if (!l.empty() && l.back() == 0) l.back() = 1;
+  return BigInt::from_limbs(l.data(), limbs, negative);
+}
+
+/// |a| * |b| through mul_ntt_mag directly (bypassing the dispatch gate).
+BigInt ntt_product_mag(const BigInt& a, const BigInt& b,
+                       std::size_t forced_primes = 0) {
+  std::vector<std::uint64_t> al(a.limb_count()), bl(b.limb_count());
+  for (std::size_t i = 0; i < al.size(); ++i) al[i] = a.limb(i);
+  for (std::size_t i = 0; i < bl.size(); ++i) bl[i] = b.limb(i);
+  detail::LimbStore out;
+  detail::mul_ntt_mag(al.data(), al.size(), bl.data(), bl.size(), out,
+                      forced_primes);
+  return BigInt::from_limbs(out.data(), out.size(), false);
+}
+
+TEST(BigIntNtt, PrimeCountIsThreeForRealisticSizes) {
+  // 128-bit digit-product floor => never fewer than 3 x 61-bit primes,
+  // and the bound only grows by ceil(log2 min(an, bn)) bits, so 3 covers
+  // every operand pair below ~2^55 limbs.
+  EXPECT_EQ(detail::ntt_mul_prime_count(1, 2), 3u);
+  EXPECT_EQ(detail::ntt_mul_prime_count(64, 64), 3u);
+  EXPECT_EQ(detail::ntt_mul_prime_count(1u << 18, 1u << 18), 3u);
+}
+
+TEST(BigIntNtt, AvailabilityGate) {
+  EXPECT_FALSE(detail::ntt_mul_available(0, 5));
+  EXPECT_FALSE(detail::ntt_mul_available(5, 0));
+  EXPECT_FALSE(detail::ntt_mul_available(1, 1));  // conv length 1
+  EXPECT_TRUE(detail::ntt_mul_available(1, 2));
+  EXPECT_TRUE(detail::ntt_mul_available(512, 512));
+  // Convolution longer than the primes' guaranteed 2^20-point order.
+  EXPECT_FALSE(detail::ntt_mul_available(1u << 20, 1u << 20));
+}
+
+TEST(BigIntNtt, MatchesSchoolbookSweep) {
+  // Differential sweep against the default (schoolbook) product across
+  // sizes straddling both dispatch crossovers, including very asymmetric
+  // pairs.  mul_ntt_mag is called directly so sub-threshold sizes are
+  // covered too.
+  Prng rng(0x1234);
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 2},  {2, 2},   {3, 5},   {7, 8},    {16, 16},  {23, 24},
+      {24, 24} /* karatsuba_threshold */, {25, 31}, {64, 64},
+      {1, 200} /* extreme asymmetry */,   {100, 300},
+      {255, 257} /* straddles a transform-size step */, {512, 512}};
+  for (const auto& [an, bn] : shapes) {
+    const BigInt a = random_bigint(an, false, rng);
+    const BigInt b = random_bigint(bn, false, rng);
+    const BigInt ref = a * b;  // default dispatch: schoolbook
+    EXPECT_EQ(ntt_product_mag(a, b), ref) << an << " x " << bn << " limbs";
+  }
+}
+
+TEST(BigIntNtt, DispatchLadderSweep) {
+  // Same products through the public dispatch with thresholds lowered so
+  // the sweep crosses schoolbook -> Karatsuba -> NTT within small sizes.
+  DispatchGuard guard;
+  MulDispatch d;
+  d.karatsuba = true;
+  d.ntt = true;
+  d.karatsuba_threshold = 4;
+  d.ntt_threshold = 16;
+  Prng rng(0x4321);
+  for (std::size_t n = 1; n <= 40; ++n) {
+    const BigInt a = random_bigint(n, (n % 2) != 0, rng);
+    const BigInt b = random_bigint(n + (n % 3), (n % 4) == 0, rng);
+    BigInt::set_mul_dispatch(MulDispatch{});
+    const BigInt ref = a * b;
+    BigInt::set_mul_dispatch(d);
+    EXPECT_EQ(a * b, ref) << n << " limbs";
+  }
+}
+
+TEST(BigIntNtt, SignZeroAndSingleLimbEdges) {
+  DispatchGuard guard;
+  MulDispatch d = MulDispatch::fast();
+  d.ntt_threshold = 4;  // minimum: force the NTT rung at tiny sizes
+  BigInt::set_mul_dispatch(d);
+  Prng rng(0x9e3779b9);
+  const BigInt x = random_bigint(8, false, rng);
+  const BigInt y = random_bigint(8, false, rng);
+  EXPECT_TRUE((x * BigInt(0)).is_zero());
+  EXPECT_TRUE((BigInt(0) * x).is_zero());
+  EXPECT_EQ(x * BigInt(1), x);
+  EXPECT_EQ((-x) * y, -(x * y));
+  EXPECT_EQ(x * (-y), -(x * y));
+  EXPECT_EQ((-x) * (-y), x * y);
+  // Single-limb times multi-limb stays on the small fast path / schoolbook
+  // (below every threshold) but must agree with the NTT-enabled config.
+  const BigInt s(12345);
+  BigInt::set_mul_dispatch(MulDispatch{});
+  const BigInt ref = s * x;
+  BigInt::set_mul_dispatch(d);
+  EXPECT_EQ(s * x, ref);
+}
+
+TEST(BigIntNtt, SquaringFastPathMatchesGeneralPath) {
+  // a == b by pointer triggers the single-forward-transform path; it must
+  // be limb-identical to the general two-operand product.
+  Prng rng(0x5ca1e);
+  for (const std::size_t n : {4u, 37u, 128u, 300u}) {
+    const BigInt a = random_bigint(n, false, rng);
+    const BigInt square = ntt_product_mag(a, a);
+    const BigInt copy = a;  // distinct buffer: general path
+    EXPECT_EQ(square, a * copy) << n << " limbs";
+  }
+}
+
+TEST(BigIntNtt, ForcedPrimeEscalation) {
+  // The bound needs 3 primes; forcing 4, 5, and the full basis of 8 must
+  // change nothing but the work done.
+  Prng rng(0xe5ca1a7e);
+  const BigInt a = random_bigint(100, false, rng);
+  const BigInt b = random_bigint(120, false, rng);
+  const BigInt ref = a * b;  // schoolbook
+  EXPECT_EQ(ntt_product_mag(a, b, 4), ref);
+  EXPECT_EQ(ntt_product_mag(a, b, 5), ref);
+  EXPECT_EQ(ntt_product_mag(a, b, detail::kNttMulMaxPrimes), ref);
+  // Forcing fewer primes than the bound requires is a contract violation.
+  EXPECT_THROW(ntt_product_mag(a, b, 2), InvalidArgument);
+}
+
+TEST(BigIntNtt, MulDispatchRoundTripAndClamp) {
+  DispatchGuard guard;
+  MulDispatch d;
+  d.karatsuba = true;
+  d.ntt = true;
+  d.karatsuba_threshold = 17;
+  d.ntt_threshold = 3000;
+  BigInt::set_mul_dispatch(d);
+  EXPECT_EQ(BigInt::mul_dispatch(), d);
+  // Thresholds clamp to [4, 65535]: 4 is the smallest size at which
+  // Karatsuba's ceil(n/2)+1 recurrence strictly shrinks.
+  d.karatsuba_threshold = 1;
+  d.ntt_threshold = 70000;
+  BigInt::set_mul_dispatch(d);
+  EXPECT_EQ(BigInt::mul_dispatch().karatsuba_threshold, 4u);
+  EXPECT_EQ(BigInt::mul_dispatch().ntt_threshold, 65535u);
+}
+
+TEST(BigIntNtt, KaratsubaToggleKeepsDispatchCoherent) {
+  // The legacy flag toggle must edit ONLY bit 0 of the packed word: the
+  // coherence bug this PR removes was exactly a flag update that could
+  // interleave with a threshold update.
+  DispatchGuard guard;
+  MulDispatch d;
+  d.karatsuba = false;
+  d.ntt = true;
+  d.karatsuba_threshold = 31;
+  d.ntt_threshold = 4096;
+  BigInt::set_mul_dispatch(d);
+  BigInt::set_karatsuba_enabled(true);
+  MulDispatch expect = d;
+  expect.karatsuba = true;
+  EXPECT_EQ(BigInt::mul_dispatch(), expect);
+  EXPECT_TRUE(BigInt::karatsuba_enabled());
+  BigInt::set_karatsuba_enabled(false);
+  EXPECT_EQ(BigInt::mul_dispatch(), d);
+}
+
+TEST(BigIntNtt, ConcurrentMultipliesDeterministic) {
+  // 8 threads hammer NTT products concurrently: first-use races on the
+  // shared twiddle registry / Garner basis are what TSan checks here, and
+  // every thread must still get bit-identical limbs.
+  DispatchGuard guard;
+  Prng rng(0xc0ffee);
+  const BigInt a = random_bigint(300, false, rng);
+  const BigInt b = random_bigint(280, true, rng);
+  const BigInt ref = a * b;  // schoolbook, before the NTT config lands
+  MulDispatch d = MulDispatch::fast();
+  d.ntt_threshold = 16;
+  BigInt::set_mul_dispatch(d);
+  constexpr int kThreads = 8;
+  std::vector<int> ok(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        bool all = true;
+        for (int i = 0; i < 8; ++i) all = all && (a * b == ref);
+        ok[static_cast<std::size_t>(t)] = all ? 1 : 0;
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(ok[t], 1) << "thread " << t;
+}
+
+TEST(BigIntNtt, RootReportsBitIdenticalAcrossThreadsAndDispatch) {
+  // End-to-end: the full root finder, with every fast multiply enabled and
+  // thresholds lowered far enough that NTT products actually occur inside
+  // the remainder sequence / tree combines, must reproduce the default
+  // dispatch's RootReport bit-for-bit at 1, 2, and 8 worker threads.
+  Prng gen_rng(0x5eed0042);
+  const GeneratedInput in = paper_input(16, gen_rng);
+  RootFinderConfig config;
+  config.mu_bits = 53;
+
+  const RootReport ref = find_real_roots(in.poly, config);
+
+  DispatchGuard guard;
+  MulDispatch d = MulDispatch::fast();
+  d.ntt_threshold = 4;  // operands in this pipeline are far below 2048 limbs
+  BigInt::set_mul_dispatch(d);
+  for (const int threads : {1, 2, 8}) {
+    ParallelConfig par;
+    par.num_threads = threads;
+    const ParallelRunResult run =
+        find_real_roots_parallel(in.poly, config, par);
+    ASSERT_EQ(run.report.roots.size(), ref.roots.size()) << threads;
+    for (std::size_t i = 0; i < ref.roots.size(); ++i) {
+      EXPECT_EQ(run.report.roots[i], ref.roots[i])
+          << "root " << i << " at " << threads << " threads";
+    }
+    EXPECT_EQ(run.report.multiplicities, ref.multiplicities) << threads;
+    EXPECT_EQ(run.report.mu, ref.mu) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace pr

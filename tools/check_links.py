@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Relative-link and anchor checker for the repository's markdown docs.
+
+Validates every inline markdown link ``[text](target)`` whose target is
+not an external URL:
+
+* ``path`` / ``path#anchor`` -- the path must resolve (relative to the
+  containing file) to an existing file or directory inside the repo;
+* ``#anchor`` / ``path#anchor`` -- when the target is a markdown file,
+  the anchor must match a heading slug (GitHub's slugification rules:
+  lowercase, punctuation stripped, spaces to hyphens, duplicate slugs
+  suffixed -1, -2, ...).
+
+Code fences and inline code spans are ignored, so snippets like
+``poly.coeff(i)[j]`` are not misread as links.
+
+Checked files: the curated top-level documents plus everything under
+docs/.  Working-artifact files (ISSUE.md, PAPERS.md, SNIPPETS.md) are
+excluded: they quote external material with links this repo does not
+control.
+
+Usage: python3 tools/check_links.py [repo_root]
+Exit status 0 when every link resolves; 1 otherwise, with one line per
+broken link.  No dependencies beyond the standard library.
+"""
+
+import pathlib
+import re
+import sys
+
+TOP_LEVEL = [
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "PAPER.md",
+]
+
+# [text](target) where text may contain one level of nested brackets
+# (images, code spans); target stops at the first unbalanced ')'.
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^()\s]*(?:\([^()]*\)[^()\s]*)*)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXTERNAL_RE = re.compile(r"^(https?|ftp|mailto):", re.IGNORECASE)
+
+
+def strip_code(text: str) -> str:
+    """Blank out fenced code blocks and inline code spans (preserving line
+    structure so reported line numbers stay meaningful)."""
+    out = []
+    in_fence = False
+    fence = ""
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if in_fence:
+            if stripped.startswith(fence):
+                in_fence = False
+            out.append("")
+            continue
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = True
+            fence = stripped[:3]
+            out.append("")
+            continue
+        # Inline code spans: `...` (no backtick nesting in our docs).
+        out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def github_slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line's text."""
+    # Drop markdown formatting: code spans, emphasis, link syntax.
+    h = re.sub(r"`([^`]*)`", r"\1", heading)
+    h = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", h)
+    h = h.replace("*", "")
+    h = h.lower()
+    h = re.sub(r"[^\w\- ]", "", h, flags=re.UNICODE)
+    return h.replace(" ", "-")
+
+
+def heading_slugs(md_path: pathlib.Path) -> set:
+    text = strip_code(md_path.read_text(encoding="utf-8"))
+    seen = {}
+    slugs = set()
+    for line in text.splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        base = github_slugify(m.group(2))
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        slugs.add(base if n == 0 else f"{base}-{n}")
+    return slugs
+
+
+def check_file(md: pathlib.Path, root: pathlib.Path, slug_cache: dict) -> list:
+    errors = []
+    text = strip_code(md.read_text(encoding="utf-8"))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1).strip()
+            if not target or EXTERNAL_RE.match(target):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                dest = (md.parent / path_part).resolve()
+                try:
+                    dest.relative_to(root)
+                except ValueError:
+                    errors.append(
+                        f"{md.relative_to(root)}:{lineno}: link escapes the "
+                        f"repository: {target}")
+                    continue
+                if not dest.exists():
+                    errors.append(
+                        f"{md.relative_to(root)}:{lineno}: missing target "
+                        f"{target}")
+                    continue
+            else:
+                dest = md
+            if anchor:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown are not checked
+                if dest not in slug_cache:
+                    slug_cache[dest] = heading_slugs(dest)
+                if anchor.lower() not in slug_cache[dest]:
+                    errors.append(
+                        f"{md.relative_to(root)}:{lineno}: missing anchor "
+                        f"#{anchor} in {dest.relative_to(root)}")
+    return errors
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = [root / f for f in TOP_LEVEL if (root / f).exists()]
+    files += sorted((root / "docs").glob("**/*.md"))
+    if not files:
+        print(f"check_links: no markdown files found under {root}",
+              file=sys.stderr)
+        return 1
+    slug_cache = {}
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, root, slug_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_links: {len(files)} files, "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
