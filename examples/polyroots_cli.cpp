@@ -1,11 +1,14 @@
 // Command-line root finder.
 //
 //   $ example_polyroots_cli "x^3 - 2*x + 1" [--digits N] [--exact]
-//                           [--parallel T] [--stats]
+//                           [--threads T] [--pieces P] [--stats]
 //
 // Parses the polynomial, finds all real roots, and prints them as
 // decimals (default), exact rational enclosures (--exact), or with the
-// per-phase instrumentation summary (--stats).
+// per-phase instrumentation summary (--stats).  --threads (alias
+// --parallel) selects the task-parallel driver; --pieces shards its
+// interleaving tree into that many TreePieces (0 = one per thread) and,
+// with --stats, reports the per-piece task/steal/exec summary.
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -20,11 +23,17 @@ void usage() {
       "usage: example_polyroots_cli \"<polynomial in x>\" [options]\n"
       "  --digits N    output precision in decimal digits (default 20)\n"
       "  --exact       print exact rational enclosures ((k-1)/2^mu, k/2^mu]\n"
-      "  --parallel T  run the task-parallel driver with T threads\n"
-      "  --stats       print the per-phase operation counters\n"
+      "  --threads T   run the task-parallel driver with T threads\n"
+      "                (--parallel T is accepted as an alias)\n"
+      "  --pieces P    shard the tree into P TreePieces (0 = one per\n"
+      "                thread; implies the parallel driver)\n"
+      "  --stats       print the per-phase operation counters (plus the\n"
+      "                per-piece summary under the parallel driver)\n"
       "examples:\n"
       "  example_polyroots_cli \"x^2 - 2\"\n"
-      "  example_polyroots_cli \"x^3 - 6x^2 + 11x - 6\" --digits 40 --exact\n";
+      "  example_polyroots_cli \"x^3 - 6x^2 + 11x - 6\" --digits 40 --exact\n"
+      "  example_polyroots_cli \"x^4 - 10x^2 + 1\" --threads 4 --pieces 4 "
+      "--stats\n";
 }
 
 }  // namespace
@@ -38,6 +47,7 @@ int main(int argc, char** argv) {
   bool exact = false;
   bool stats = false;
   int threads = 0;
+  int pieces = -1;  // -1 = flag absent
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--digits") == 0 && i + 1 < argc) {
       digits = std::atoi(argv[++i]);
@@ -45,8 +55,12 @@ int main(int argc, char** argv) {
       exact = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
-    } else if (std::strcmp(argv[i], "--parallel") == 0 && i + 1 < argc) {
+    } else if ((std::strcmp(argv[i], "--parallel") == 0 ||
+                std::strcmp(argv[i], "--threads") == 0) &&
+               i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pieces") == 0 && i + 1 < argc) {
+      pieces = std::atoi(argv[++i]);
     } else {
       std::cerr << "unknown option: " << argv[i] << "\n";
       usage();
@@ -55,6 +69,11 @@ int main(int argc, char** argv) {
   }
   if (digits < 1 || digits > 100000) {
     std::cerr << "--digits out of range\n";
+    return 2;
+  }
+  if (pieces >= 0 && threads <= 0) threads = 1;  // --pieces implies parallel
+  if (pieces < -1) {
+    std::cerr << "--pieces out of range\n";
     return 2;
   }
 
@@ -76,11 +95,16 @@ int main(int argc, char** argv) {
 
   pr::instr::reset_all();
   pr::RootReport report;
+  pr::ParallelRunResult prun;
+  bool ran_parallel = false;
   try {
     if (threads > 0) {
       pr::ParallelConfig pc;
       pc.num_threads = threads;
-      report = pr::find_real_roots_parallel(p, cfg, pc).report;
+      if (pieces >= 0) pc.pieces.num_pieces = pieces;
+      prun = pr::find_real_roots_parallel(p, cfg, pc);
+      report = prun.report;
+      ran_parallel = !prun.used_sequential_fallback;
     } else {
       report = pr::find_real_roots(p, cfg);
     }
@@ -111,6 +135,15 @@ int main(int argc, char** argv) {
   }
   if (stats) {
     std::cout << "\n" << pr::instr::format(pr::instr::aggregate());
+    if (ran_parallel) {
+      std::cout << "\npieces: " << prun.num_pieces
+                << "  (split level " << prun.split_level << ")\n"
+                << "steals: " << prun.pool.steals << "  cross-piece: "
+                << prun.pool.cross_piece_steals << "\n";
+      if (!prun.pool.pieces.empty()) {
+        std::cout << pr::instr::format_pieces(prun.pool.pieces);
+      }
+    }
   }
   return 0;
 }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "core/root_finder.hpp"
+#include "core/tree_piece.hpp"
 #include "sched/task_pool.hpp"
 #include "sched/trace.hpp"
 
@@ -49,6 +50,14 @@ struct ParallelConfig {
   /// Section 3: "the implementation allows this stage to be executed
   /// sequentially, if so desired").
   bool sequential_remainder = false;
+  /// TreePiece decomposition (see core/tree_piece.hpp).  With more than
+  /// one piece, the tree below the split level is sharded into pieces
+  /// whose tasks carry ownership tags (piece-affine under the stealing
+  /// policy) and whose results cross to the canopy through boundary
+  /// messages; the per-prime image and CRT-wave tasks of the modular
+  /// stage 1 are round-robined across the pieces the same way.  Results
+  /// are bit-identical for every piece count.
+  PieceConfig pieces;
 };
 
 struct ParallelRunResult {
@@ -56,6 +65,8 @@ struct ParallelRunResult {
   TaskTrace trace;          ///< replayable DAG with per-task costs
   TaskPoolStats pool;
   bool used_sequential_fallback = false;  ///< repeated roots / non-normal
+  int num_pieces = 1;       ///< effective piece count of the run
+  int split_level = 0;      ///< effective split level of the run
 };
 
 /// Parallel equivalent of find_real_roots().  Inputs with repeated roots

@@ -1,0 +1,159 @@
+#include "core/tree_piece.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace pr {
+
+namespace {
+
+/// Nodes at one level, in node-index order.
+int count_at_level(const Tree& tree, int level) {
+  int count = 0;
+  for (const auto& nd : tree.nodes()) {
+    if (nd.level == level) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+TreePartition::TreePartition(const Tree& tree, int num_pieces,
+                             int split_level) {
+  check_arg(num_pieces >= 1, "TreePartition: num_pieces >= 1");
+  const int depth = tree.depth();
+
+  if (split_level < 0) {
+    // Auto: the shallowest level wide enough for the requested pieces.
+    // A level never gets wide enough for huge requests, so cap at the
+    // deepest level -- the effective piece count then caps below.
+    split_level = depth - 1;
+    for (int l = 0; l < depth; ++l) {
+      if (count_at_level(tree, l) >= num_pieces) {
+        split_level = l;
+        break;
+      }
+    }
+  }
+  check_arg(split_level < depth, "TreePartition: split_level beyond depth");
+  split_level_ = split_level;
+
+  const auto nnodes = tree.nodes().size();
+  piece_.assign(nnodes, -1);
+  root_flag_.assign(nnodes, 0);
+
+  for (std::size_t idx = 0; idx < nnodes; ++idx) {
+    if (tree.nodes()[idx].level == split_level_) {
+      piece_roots_.push_back(static_cast<int>(idx));
+      root_flag_[idx] = 1;
+    }
+  }
+  const int nroots = static_cast<int>(piece_roots_.size());
+  check_internal(nroots > 0, "TreePartition: no nodes at split level");
+  num_pieces_ = std::min(num_pieces, nroots);
+
+  // Block assignment in node-index order: root r -> piece r*eff/nroots.
+  // Contiguous node-index ranges keep sibling subtrees on the same piece.
+  for (int r = 0; r < nroots; ++r) {
+    const int piece = static_cast<int>(
+        (static_cast<long long>(r) * num_pieces_) / nroots);
+    piece_[static_cast<std::size_t>(piece_roots_[static_cast<std::size_t>(
+        r)])] = piece;
+  }
+  // Descendants inherit their piece-root ancestor's piece.  Nodes are
+  // created parent-before-child (Tree::build recurses top-down), so one
+  // forward pass suffices.
+  for (std::size_t idx = 0; idx < nnodes; ++idx) {
+    const int parent = tree.nodes()[idx].parent;
+    if (piece_[idx] < 0 && parent >= 0 &&
+        piece_[static_cast<std::size_t>(parent)] >= 0) {
+      piece_[idx] = piece_[static_cast<std::size_t>(parent)];
+    }
+  }
+
+  piece_nodes_.resize(static_cast<std::size_t>(num_pieces_));
+  for (int idx : tree.postorder()) {
+    const int piece = piece_[static_cast<std::size_t>(idx)];
+    if (piece < 0) {
+      canopy_nodes_.push_back(idx);
+    } else {
+      piece_nodes_[static_cast<std::size_t>(piece)].push_back(idx);
+    }
+  }
+}
+
+void PieceMailbox::post(BoundaryMessage msg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  messages_.push_back(std::move(msg));
+}
+
+BoundaryMessage PieceMailbox::take(int node, BoundaryMessage::Phase phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = messages_.begin(); it != messages_.end(); ++it) {
+    if (it->node == node && it->phase == phase) {
+      BoundaryMessage out = std::move(*it);
+      messages_.erase(it);
+      return out;
+    }
+  }
+  throw InternalError("PieceMailbox::take: no message for node " +
+                      std::to_string(node) + " phase " +
+                      std::to_string(static_cast<int>(phase)));
+}
+
+std::size_t PieceMailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_.size();
+}
+
+TreeCanopy::TreeCanopy(int num_pieces)
+    : inboxes_(static_cast<std::size_t>(num_pieces)) {
+  check_arg(num_pieces >= 1, "TreeCanopy: num_pieces >= 1");
+}
+
+PieceMailbox& TreeCanopy::inbox(int piece) {
+  check_arg(piece >= 0 && piece < num_pieces(), "TreeCanopy: bad piece id");
+  return inboxes_[static_cast<std::size_t>(piece)];
+}
+
+void send_poly_boundary(Tree& tree, int node, int from_piece,
+                        PieceMailbox& box) {
+  TreeNode& nd = tree.node(node);
+  BoundaryMessage msg;
+  msg.phase = BoundaryMessage::Phase::kPoly;
+  msg.node = node;
+  msg.from_piece = from_piece;
+  msg.t = std::move(nd.t);
+  msg.has_t = nd.has_t;
+  nd.t = PolyMat22{};
+  nd.has_t = false;
+  box.post(std::move(msg));
+}
+
+void recv_poly_boundary(Tree& tree, int node, PieceMailbox& box) {
+  BoundaryMessage msg = box.take(node, BoundaryMessage::Phase::kPoly);
+  TreeNode& nd = tree.node(node);
+  nd.t = std::move(msg.t);
+  nd.has_t = msg.has_t;
+}
+
+void send_roots_boundary(Tree& tree, int node, int from_piece,
+                         PieceMailbox& box) {
+  TreeNode& nd = tree.node(node);
+  BoundaryMessage msg;
+  msg.phase = BoundaryMessage::Phase::kRoots;
+  msg.node = node;
+  msg.from_piece = from_piece;
+  msg.roots = std::move(nd.roots);
+  nd.roots.clear();
+  box.post(std::move(msg));
+}
+
+void recv_roots_boundary(Tree& tree, int node, PieceMailbox& box) {
+  BoundaryMessage msg = box.take(node, BoundaryMessage::Phase::kRoots);
+  tree.node(node).roots = std::move(msg.roots);
+}
+
+}  // namespace pr

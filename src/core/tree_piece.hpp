@@ -1,0 +1,153 @@
+// Sharding of the interleaving tree into TreePieces.
+//
+// The paper runs the whole tree as one flat task soup; region-ownership
+// decompositions (the standard trick of subdivision solvers, e.g.
+// Imbach-Pan) instead give every subtree an *owner* so that the bulk of
+// the work -- everything below a chosen split level -- runs with
+// locality, and only the thin top of the tree (the "canopy") is shared.
+//
+// The decomposition here has three parts:
+//
+//  * TreePartition -- a pure description: pick a split level, make every
+//    node AT that level a *piece root*, assign the piece roots (and their
+//    whole subtrees) to `num_pieces` pieces in node-index order, and
+//    leave everything above the split level (plus shallow leaves that
+//    never reach it) to the canopy (piece id -1).
+//  * BoundaryMessage / PieceMailbox -- the only way state crosses a piece
+//    boundary.  When a piece finishes its root's polynomial (and later
+//    its roots), it MOVES the result into a message and posts it to its
+//    inbox; the canopy's receive task moves it back into the tree.  The
+//    canopy can therefore never observe half-built piece state: before
+//    the receive there is nothing to read (has_t is false, roots are
+//    gone), and the mailbox throws on a missing message instead of
+//    silently reading stale data.
+//  * TreeCanopy -- the shared top: one mailbox per piece.
+//
+// The partition is purely structural (it never looks at coefficients), so
+// the same (degree, num_pieces, split_level) always yields the same
+// piece assignment -- a precondition for the determinism matrix.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "linalg/polymat22.hpp"
+
+namespace pr {
+
+/// Driver-facing knobs for the tree decomposition.
+struct PieceConfig {
+  /// Number of TreePieces to shard the tree into.  1 = whole tree is one
+  /// piece (no boundary messages); 0 = auto (one piece per worker
+  /// thread).
+  int num_pieces = 1;
+  /// Tree level whose nodes become piece roots (root = level 0).
+  /// -1 = auto: the shallowest level with at least num_pieces nodes,
+  /// clamped to the tree depth.
+  int split_level = -1;
+};
+
+/// Static assignment of tree nodes to pieces.
+class TreePartition {
+ public:
+  /// `num_pieces` >= 1 is the requested piece count (the effective count
+  /// is capped by the number of nodes at the split level); `split_level`
+  /// as in PieceConfig (-1 = auto).
+  TreePartition(const Tree& tree, int num_pieces, int split_level = -1);
+
+  /// Effective piece count (>= 1, <= requested).
+  int num_pieces() const { return num_pieces_; }
+  /// Effective split level (>= 0, < tree depth).
+  int split_level() const { return split_level_; }
+
+  /// Piece owning a node, or -1 for canopy nodes.
+  int piece_of(int node) const {
+    return piece_[static_cast<std::size_t>(node)];
+  }
+  /// True iff `node` sits exactly at the split level (the subtree root
+  /// whose results cross the boundary to the canopy).
+  bool is_piece_root(int node) const {
+    return root_flag_[static_cast<std::size_t>(node)];
+  }
+
+  /// All piece roots, in node-index order (the assignment order).
+  const std::vector<int>& piece_roots() const { return piece_roots_; }
+  /// Nodes of one piece in postorder (children before parents) -- the
+  /// order a sequential pass over the piece must use.
+  const std::vector<int>& piece_nodes(int piece) const {
+    return piece_nodes_[static_cast<std::size_t>(piece)];
+  }
+  /// Canopy nodes in postorder.
+  const std::vector<int>& canopy_nodes() const { return canopy_nodes_; }
+
+ private:
+  int num_pieces_ = 1;
+  int split_level_ = 0;
+  std::vector<int> piece_;           // node -> piece (-1 = canopy)
+  std::vector<char> root_flag_;      // node -> is piece root
+  std::vector<int> piece_roots_;
+  std::vector<std::vector<int>> piece_nodes_;
+  std::vector<int> canopy_nodes_;
+};
+
+/// One result crossing a piece boundary.  Payloads are moved in by the
+/// sending piece and moved out by the canopy's receive -- the tree node
+/// itself holds nothing in between.
+struct BoundaryMessage {
+  enum class Phase {
+    kPoly,   ///< the piece root's T matrix (t / has_t); poly stays put
+    kRoots,  ///< the piece root's sorted root approximations
+  };
+  Phase phase = Phase::kPoly;
+  int node = -1;        ///< tree node index the payload belongs to
+  int from_piece = -1;  ///< sending piece (for diagnostics)
+
+  PolyMat22 t;          ///< kPoly payload
+  bool has_t = false;
+  std::vector<BigInt> roots;  ///< kRoots payload
+};
+
+/// Thread-safe mailbox for one piece's outbound messages.  Several piece
+/// roots can share a piece (when the requested piece count is smaller
+/// than the node count at the split level), so posts may race; takes are
+/// keyed by (node, phase).  Taking a message that was never posted is an
+/// ownership bug and throws InternalError.
+class PieceMailbox {
+ public:
+  void post(BoundaryMessage msg);
+  /// Removes and returns the message for (node, phase).
+  BoundaryMessage take(int node, BoundaryMessage::Phase phase);
+  /// Messages currently held (posted and not yet taken).
+  std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<BoundaryMessage> messages_;
+};
+
+/// The shared top of the tree: one inbox per piece.  Canopy tasks read
+/// piece results exclusively through these inboxes.
+class TreeCanopy {
+ public:
+  explicit TreeCanopy(int num_pieces);
+  int num_pieces() const { return static_cast<int>(inboxes_.size()); }
+  PieceMailbox& inbox(int piece);
+
+ private:
+  std::vector<PieceMailbox> inboxes_;
+};
+
+/// Packages a piece root's polynomial-phase result: moves node.t into a
+/// kPoly message (clearing has_t) and posts it to `box`.
+void send_poly_boundary(Tree& tree, int node, int from_piece,
+                        PieceMailbox& box);
+/// Installs a kPoly message back into the tree node.
+void recv_poly_boundary(Tree& tree, int node, PieceMailbox& box);
+/// Same pair for the roots phase (moves node.roots).
+void send_roots_boundary(Tree& tree, int node, int from_piece,
+                         PieceMailbox& box);
+void recv_roots_boundary(Tree& tree, int node, PieceMailbox& box);
+
+}  // namespace pr

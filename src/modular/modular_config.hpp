@@ -61,6 +61,12 @@ struct ModularConfig {
   /// (levels below it run the wave loop inline on one task).
   std::size_t crt_wave_min_work = 4096;
 
+  /// Number of CRT wave tasks each reconstruction level fans out to.
+  /// 0 = auto: min(16, 2 * threads), the measured sweet spot on the
+  /// reference machine.  The explicit knob is the seam for piece-local
+  /// CRT waves and for fitting the ROADMAP's measured wave model.
+  std::size_t crt_wave_fanout = 0;
+
   /// After reconstruction, re-verify every image at one held-out prime
   /// (cost ~1/k of the total); a mismatch falls back to the exact path
   /// instead of surfacing a wrong result.

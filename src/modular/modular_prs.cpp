@@ -391,7 +391,9 @@ std::optional<RemainderSequence> compute_remainder_sequence_multimodular(
   // waves of one level overlap).
   TaskGraph g;
   const std::size_t waves =
-      std::min<std::size_t>(16, static_cast<std::size_t>(2 * threads));
+      cfg.crt_wave_fanout != 0
+          ? cfg.crt_wave_fanout
+          : std::min<std::size_t>(16, static_cast<std::size_t>(2 * threads));
   const TaskId prep = g.add(TaskKind::kModPrep, -1,
                             [&prs, waves] { prs.prepare_crt(waves); });
   for (std::size_t t = 0; t < prs.num_image_tasks(threads); ++t) {

@@ -33,6 +33,7 @@
 #include "core/scaled_point.hpp"              // IWYU pragma: export
 #include "core/tree.hpp"                      // IWYU pragma: export
 #include "core/tree_builder.hpp"              // IWYU pragma: export
+#include "core/tree_piece.hpp"                // IWYU pragma: export
 #include "gen/classic_polys.hpp"              // IWYU pragma: export
 #include "gen/matrix_polys.hpp"               // IWYU pragma: export
 #include "instr/counters.hpp"                 // IWYU pragma: export

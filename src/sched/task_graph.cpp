@@ -27,19 +27,28 @@ const char* task_kind_name(TaskKind k) {
     case TaskKind::kModBlock: return "modblock";
     case TaskKind::kModCrt: return "modcrt";
     case TaskKind::kModPublish: return "modpublish";
+    case TaskKind::kPieceSend: return "piecesend";
+    case TaskKind::kPieceRecv: return "piecerecv";
     case TaskKind::kGeneric: return "generic";
   }
   return "?";
 }
 
 TaskId TaskGraph::add(TaskKind kind, std::int32_t tag,
-                      std::function<void()> fn) {
+                      std::function<void()> fn, std::int32_t piece) {
   Task t;
   t.fn = std::move(fn);
   t.kind = kind;
   t.tag = tag;
+  t.piece = piece;
   tasks_.push_back(std::move(t));
   return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+std::int32_t TaskGraph::max_piece() const {
+  std::int32_t best = -1;
+  for (const auto& t : tasks_) best = std::max(best, t.piece);
+  return best;
 }
 
 void TaskGraph::add_edge(TaskId from, TaskId to) {

@@ -1,0 +1,547 @@
+// TreePiece decomposition (core/tree_piece.hpp): partition invariants,
+// mailbox boundary handoff, the by-pieces sequential reference, and the
+// ISSUE's piece determinism matrix on the parallel driver.
+#include "core/tree_piece.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/parallel_driver.hpp"
+#include "core/tree_builder.hpp"
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "poly/bounds.hpp"
+#include "poly/remainder_sequence.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+// --- TreePartition ----------------------------------------------------------
+
+TEST(TreePartition, PiecesAndCanopyDisjointlyCoverEveryNode) {
+  for (int n : {1, 2, 5, 8, 13, 21, 32}) {
+    Tree tree(n);
+    for (int pieces : {1, 2, 4, 8}) {
+      TreePartition part(tree, pieces);
+      ASSERT_GE(part.num_pieces(), 1);
+      ASSERT_LE(part.num_pieces(), pieces);
+      std::set<int> seen;
+      for (int p = 0; p < part.num_pieces(); ++p) {
+        for (int idx : part.piece_nodes(p)) {
+          EXPECT_EQ(part.piece_of(idx), p);
+          EXPECT_TRUE(seen.insert(idx).second)
+              << "node " << idx << " owned twice";
+        }
+      }
+      for (int idx : part.canopy_nodes()) {
+        EXPECT_EQ(part.piece_of(idx), -1);
+        EXPECT_TRUE(seen.insert(idx).second);
+      }
+      EXPECT_EQ(seen.size(), tree.nodes().size())
+          << "n=" << n << " pieces=" << pieces;
+    }
+  }
+}
+
+TEST(TreePartition, PieceRootsSitExactlyAtTheSplitLevel) {
+  Tree tree(21);
+  for (int pieces : {2, 4, 8}) {
+    TreePartition part(tree, pieces);
+    std::size_t at_level = 0;
+    for (std::size_t idx = 0; idx < tree.nodes().size(); ++idx) {
+      const bool at = tree.nodes()[idx].level == part.split_level();
+      at_level += at;
+      EXPECT_EQ(part.is_piece_root(static_cast<int>(idx)), at);
+    }
+    EXPECT_EQ(part.piece_roots().size(), at_level);
+    // Auto split: shallowest level with >= pieces nodes.
+    EXPECT_GE(static_cast<int>(at_level), pieces);
+    std::size_t above = 0;
+    for (const auto& nd : tree.nodes()) {
+      above += nd.level == part.split_level() - 1;
+    }
+    EXPECT_LT(static_cast<int>(above), pieces)
+        << "split level not the shallowest eligible one";
+  }
+}
+
+TEST(TreePartition, DescendantsInheritTheirPieceRoot) {
+  Tree tree(17);
+  TreePartition part(tree, 4);
+  for (std::size_t idx = 0; idx < tree.nodes().size(); ++idx) {
+    const auto& nd = tree.nodes()[idx];
+    if (nd.level <= part.split_level()) continue;
+    // Walk up to the split level: the ancestor's piece must match.
+    int anc = static_cast<int>(idx);
+    while (tree.node(anc).level > part.split_level()) {
+      anc = tree.node(anc).parent;
+    }
+    EXPECT_TRUE(part.is_piece_root(anc));
+    EXPECT_EQ(part.piece_of(static_cast<int>(idx)), part.piece_of(anc));
+  }
+}
+
+TEST(TreePartition, PieceNodesArePostordered) {
+  Tree tree(25);
+  TreePartition part(tree, 4);
+  for (int p = 0; p < part.num_pieces(); ++p) {
+    std::set<int> done;
+    for (int idx : part.piece_nodes(p)) {
+      const auto& nd = tree.node(idx);
+      if (nd.left >= 0 && part.piece_of(nd.left) == p) {
+        EXPECT_TRUE(done.count(nd.left)) << "child after parent";
+      }
+      if (nd.right >= 0 && part.piece_of(nd.right) == p) {
+        EXPECT_TRUE(done.count(nd.right));
+      }
+      done.insert(idx);
+    }
+  }
+}
+
+TEST(TreePartition, SameInputsSameAssignment) {
+  Tree tree(19);
+  TreePartition a(tree, 3), b(tree, 3);
+  EXPECT_EQ(a.num_pieces(), b.num_pieces());
+  EXPECT_EQ(a.split_level(), b.split_level());
+  for (std::size_t idx = 0; idx < tree.nodes().size(); ++idx) {
+    EXPECT_EQ(a.piece_of(static_cast<int>(idx)),
+              b.piece_of(static_cast<int>(idx)));
+  }
+}
+
+TEST(TreePartition, ExplicitSplitLevelIsHonoredAndValidated) {
+  Tree tree(16);  // depth >= 4
+  for (int level = 0; level < tree.depth(); ++level) {
+    TreePartition part(tree, 4, level);
+    EXPECT_EQ(part.split_level(), level);
+  }
+  EXPECT_THROW(TreePartition(tree, 2, tree.depth()), InvalidArgument);
+  EXPECT_THROW(TreePartition(tree, 0), InvalidArgument);
+}
+
+TEST(TreePartition, SplitAtRootMakesOneEffectivePiece) {
+  Tree tree(10);
+  TreePartition part(tree, 8, 0);
+  EXPECT_EQ(part.num_pieces(), 1);
+  EXPECT_TRUE(part.is_piece_root(tree.root_index()));
+  EXPECT_TRUE(part.canopy_nodes().empty());
+}
+
+// --- PieceMailbox -----------------------------------------------------------
+
+TEST(PieceMailbox, PostThenTakeRoundTripsThePayload) {
+  PieceMailbox box;
+  BoundaryMessage msg;
+  msg.phase = BoundaryMessage::Phase::kRoots;
+  msg.node = 7;
+  msg.from_piece = 2;
+  msg.roots = {BigInt(3), BigInt(9)};
+  box.post(std::move(msg));
+  EXPECT_EQ(box.pending(), 1u);
+  const auto got = box.take(7, BoundaryMessage::Phase::kRoots);
+  EXPECT_EQ(got.from_piece, 2);
+  EXPECT_EQ(got.roots, (std::vector<BigInt>{BigInt(3), BigInt(9)}));
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(PieceMailbox, TakeIsKeyedByNodeAndPhase) {
+  PieceMailbox box;
+  for (int node : {4, 5}) {
+    for (auto phase :
+         {BoundaryMessage::Phase::kPoly, BoundaryMessage::Phase::kRoots}) {
+      BoundaryMessage m;
+      m.phase = phase;
+      m.node = node;
+      m.from_piece = node * 10 + (phase == BoundaryMessage::Phase::kPoly);
+      box.post(std::move(m));
+    }
+  }
+  EXPECT_EQ(box.pending(), 4u);
+  EXPECT_EQ(box.take(5, BoundaryMessage::Phase::kPoly).from_piece, 51);
+  EXPECT_EQ(box.take(4, BoundaryMessage::Phase::kRoots).from_piece, 40);
+  EXPECT_EQ(box.pending(), 2u);
+}
+
+TEST(PieceMailbox, TakingAMissingMessageThrows) {
+  PieceMailbox box;
+  EXPECT_THROW(box.take(3, BoundaryMessage::Phase::kPoly), InternalError);
+  BoundaryMessage m;
+  m.phase = BoundaryMessage::Phase::kPoly;
+  m.node = 3;
+  box.post(std::move(m));
+  EXPECT_THROW(box.take(3, BoundaryMessage::Phase::kRoots), InternalError);
+}
+
+TEST(PieceMailbox, BoundarySendMovesStateOutOfTheNode) {
+  // After send_poly_boundary the node holds nothing (the canopy cannot
+  // read half-built state); recv restores it bit-for-bit.
+  const Poly p = poly_from_integer_roots({-3, 1, 4, 8});
+  const auto rs = compute_remainder_sequence(p);
+  Tree tree(p.degree());
+  for (int idx : tree.postorder()) compute_node_poly(tree, idx, rs);
+  const int root = tree.root_index();
+  const int left = tree.node(root).left;
+  ASSERT_TRUE(tree.node(left).has_t);
+  const PolyMat22 expect_t = tree.node(left).t;
+  PieceMailbox box;
+  send_poly_boundary(tree, left, 0, box);
+  EXPECT_FALSE(tree.node(left).has_t);
+  recv_poly_boundary(tree, left, box);
+  EXPECT_TRUE(tree.node(left).has_t);
+  EXPECT_EQ(tree.node(left).t, expect_t);
+}
+
+// --- run_tree_by_pieces -----------------------------------------------------
+
+void expect_trees_equal(const Tree& a, const Tree& b, const char* what) {
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    EXPECT_EQ(a.nodes()[i].poly, b.nodes()[i].poly) << what << " node " << i;
+    EXPECT_EQ(a.nodes()[i].roots, b.nodes()[i].roots) << what << " node " << i;
+  }
+}
+
+TEST(TreePieceRun, ByPiecesMatchesSequentialForEveryPartition) {
+  Prng rng(1215);
+  const auto input = paper_input(13, rng);
+  const std::size_t mu = 24;
+  const auto rs = compute_remainder_sequence(input.poly);
+  const BigInt bound = BigInt::pow2(root_bound_pow2(input.poly) + mu);
+  IntervalSolverConfig scfg;
+  Tree ref(input.poly.degree());
+  run_tree_sequential(ref, rs, mu, bound, scfg, nullptr);
+  Tree probe(input.poly.degree());
+  for (int pieces : {1, 2, 4, 8}) {
+    for (int level = 0; level < probe.depth(); ++level) {
+      Tree tree(input.poly.degree());
+      TreePartition part(tree, pieces, level);
+      TreeCanopy canopy(part.num_pieces());
+      run_tree_by_pieces(tree, part, canopy, rs, mu, bound, scfg, nullptr);
+      expect_trees_equal(tree, ref,
+                         (std::to_string(pieces) + " pieces, split level " +
+                          std::to_string(level))
+                             .c_str());
+      for (int p = 0; p < part.num_pieces(); ++p) {
+        EXPECT_EQ(canopy.inbox(p).pending(), 0u) << "unconsumed boundary msg";
+      }
+    }
+  }
+}
+
+TEST(TreePieceRun, WilkinsonAcrossPieceCounts) {
+  const Poly p = wilkinson(12);
+  const std::size_t mu = 16;
+  const auto rs = compute_remainder_sequence(p);
+  const BigInt bound = BigInt::pow2(root_bound_pow2(p) + mu);
+  IntervalSolverConfig scfg;
+  Tree ref(p.degree());
+  run_tree_sequential(ref, rs, mu, bound, scfg, nullptr);
+  for (int pieces : {2, 5, 8}) {
+    Tree tree(p.degree());
+    TreePartition part(tree, pieces);
+    TreeCanopy canopy(part.num_pieces());
+    run_tree_by_pieces(tree, part, canopy, rs, mu, bound, scfg, nullptr);
+    expect_trees_equal(tree, ref, "wilkinson");
+  }
+}
+
+// --- parallel driver with pieces -------------------------------------------
+
+RootFinderConfig base_config(std::size_t mu) {
+  RootFinderConfig cfg;
+  cfg.mu_bits = mu;
+  return cfg;
+}
+
+// The ISSUE's acceptance gate: bit-identical RootReports across
+// {1,2,4,8} pieces x {1,2,8} threads x {central,stealing} on the
+// Wilkinson and Berkowitz workloads.
+TEST(TreePieceMatrix, DeterministicAcrossPiecesThreadsAndPolicies) {
+  struct Workload {
+    const char* name;
+    Poly poly;
+  };
+  Prng rng(99);
+  const std::vector<Workload> workloads = {
+      {"wilkinson", wilkinson(12)},
+      {"berkowitz", paper_input(10, rng).poly},
+  };
+  const RootFinderConfig cfg = base_config(24);
+  for (const auto& w : workloads) {
+    const auto ref = find_real_roots(w.poly, cfg);
+    for (int pieces : {1, 2, 4, 8}) {
+      for (PoolPolicy policy :
+           {PoolPolicy::kCentralQueue, PoolPolicy::kWorkStealing}) {
+        for (int threads : {1, 2, 8}) {
+          ParallelConfig pc;
+          pc.pool_policy = policy;
+          pc.num_threads = threads;
+          pc.pieces.num_pieces = pieces;
+          const auto run = find_real_roots_parallel(w.poly, cfg, pc);
+          EXPECT_FALSE(run.used_sequential_fallback);
+          EXPECT_EQ(run.report.roots, ref.roots)
+              << w.name << " pieces=" << pieces << " policy="
+              << (policy == PoolPolicy::kCentralQueue ? "central" : "steal")
+              << " threads=" << threads;
+          EXPECT_EQ(run.report.multiplicities, ref.multiplicities) << w.name;
+          EXPECT_GE(run.num_pieces, 1);
+          EXPECT_LE(run.num_pieces, pieces);
+        }
+      }
+    }
+  }
+}
+
+// Force the boundary at every tree level: shallow splits make huge pieces
+// with a thin canopy, deep splits push the boundary down to the leaves.
+TEST(TreePieceMatrix, SplitLevelSweepKeepsRootsIdentical) {
+  Prng rng(77);
+  const auto input = paper_input(12, rng);
+  const RootFinderConfig cfg = base_config(20);
+  const auto ref = find_real_roots(input.poly, cfg);
+  const int depth = Tree(input.poly.degree()).depth();
+  for (int level = 0; level < depth; ++level) {
+    for (PoolPolicy policy :
+         {PoolPolicy::kCentralQueue, PoolPolicy::kWorkStealing}) {
+      ParallelConfig pc;
+      pc.pool_policy = policy;
+      pc.num_threads = 4;
+      pc.pieces.num_pieces = 4;
+      pc.pieces.split_level = level;
+      const auto run = find_real_roots_parallel(input.poly, cfg, pc);
+      EXPECT_FALSE(run.used_sequential_fallback);
+      EXPECT_EQ(run.split_level, level);
+      EXPECT_EQ(run.report.roots, ref.roots)
+          << "split level " << level << " policy "
+          << (policy == PoolPolicy::kCentralQueue ? "central" : "steal");
+    }
+  }
+}
+
+TEST(TreePieceMatrix, ModularPathMatchesWithPieces) {
+  Prng rng(31);
+  const auto input = paper_input(12, rng);
+  RootFinderConfig cfg = base_config(40);
+  cfg.modular.enabled = true;
+  cfg.modular.min_degree = 2;
+  cfg.modular.min_combine_bits = 1;
+  cfg.modular.combine_cost_gate = false;
+  const auto ref = find_real_roots(input.poly, base_config(40));
+  for (int pieces : {1, 4}) {
+    ParallelConfig pc;
+    pc.num_threads = 4;
+    pc.pool_policy = PoolPolicy::kWorkStealing;
+    pc.pieces.num_pieces = pieces;
+    const auto run = find_real_roots_parallel(input.poly, cfg, pc);
+    EXPECT_FALSE(run.used_sequential_fallback);
+    EXPECT_EQ(run.report.roots, ref.roots) << "pieces=" << pieces;
+  }
+}
+
+TEST(TreePieceMatrix, CrtWaveFanoutKnobKeepsRootsIdentical) {
+  Prng rng(55);
+  const auto input = paper_input(10, rng);
+  RootFinderConfig cfg = base_config(30);
+  cfg.modular.enabled = true;
+  cfg.modular.min_degree = 2;
+  const auto ref = find_real_roots(input.poly, base_config(30));
+  for (std::size_t fanout : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                             std::size_t{64}}) {
+    RootFinderConfig c = cfg;
+    c.modular.crt_wave_fanout = fanout;
+    ParallelConfig pc;
+    pc.num_threads = 4;
+    const auto run = find_real_roots_parallel(input.poly, c, pc);
+    EXPECT_EQ(run.report.roots, ref.roots) << "fanout=" << fanout;
+  }
+}
+
+TEST(TreePieceMatrix, AutoPiecesFollowThreadsAndFallbackStillWorks) {
+  Prng rng(9);
+  const auto input = paper_input(10, rng);
+  const RootFinderConfig cfg = base_config(24);
+  ParallelConfig pc;
+  pc.num_threads = 4;
+  pc.pieces.num_pieces = 0;  // auto: one per thread (capped by the tree)
+  const auto run = find_real_roots_parallel(input.poly, cfg, pc);
+  EXPECT_FALSE(run.used_sequential_fallback);
+  EXPECT_GE(run.num_pieces, 1);
+  EXPECT_LE(run.num_pieces, 4);
+  // Repeated roots still take the sequential fallback with pieces set.
+  const Poly rep = poly_from_integer_roots({2, 2, 5});
+  const auto fb = find_real_roots_parallel(rep, base_config(12), pc);
+  EXPECT_TRUE(fb.used_sequential_fallback);
+  ASSERT_EQ(fb.report.roots.size(), 2u);
+}
+
+TEST(TreePieceMatrix, RejectsNegativePieceCount) {
+  ParallelConfig pc;
+  pc.pieces.num_pieces = -2;
+  EXPECT_THROW(find_real_roots_parallel(wilkinson(6), base_config(12), pc),
+               InvalidArgument);
+}
+
+TEST(TreePieceMatrix, OversizedSplitLevelIsClampedNotFatal) {
+  ParallelConfig pc;
+  pc.num_threads = 2;
+  pc.pieces.num_pieces = 2;
+  pc.pieces.split_level = 99;
+  const auto run =
+      find_real_roots_parallel(wilkinson(8), base_config(12), pc);
+  EXPECT_FALSE(run.used_sequential_fallback);
+  EXPECT_LT(run.split_level, Tree(8).depth());
+  ASSERT_EQ(run.report.roots.size(), 8u);
+}
+
+// --- per-piece scheduler stats ---------------------------------------------
+
+TEST(TreePieceStats, PieceCountersAccountForEveryTaggedTask) {
+  Prng rng(7);
+  const auto input = paper_input(12, rng);
+  const RootFinderConfig cfg = base_config(30);
+  for (PoolPolicy policy :
+       {PoolPolicy::kCentralQueue, PoolPolicy::kWorkStealing}) {
+    ParallelConfig pc;
+    pc.pool_policy = policy;
+    pc.num_threads = 4;
+    pc.pieces.num_pieces = 4;
+    const auto run = find_real_roots_parallel(input.poly, cfg, pc);
+    ASSERT_FALSE(run.used_sequential_fallback);
+    ASSERT_EQ(static_cast<int>(run.pool.pieces.size()), run.num_pieces);
+    std::size_t tagged = 0;
+    for (const auto& e : run.pool.timeline.entries) {
+      if (e.piece >= 0) {
+        ASSERT_LT(e.piece, run.num_pieces);
+        ++tagged;
+      }
+    }
+    EXPECT_GT(tagged, 0u) << "a multi-piece run must tag tasks";
+    std::size_t counted = 0, stolen = 0;
+    double exec = 0;
+    for (const auto& p : run.pool.pieces) {
+      counted += p.tasks;
+      stolen += p.stolen;
+      exec += p.exec_seconds;
+    }
+    EXPECT_EQ(counted, tagged);
+    EXPECT_GT(exec, 0.0);
+    if (policy == PoolPolicy::kCentralQueue) {
+      EXPECT_EQ(run.pool.cross_piece_steals, 0u);
+      EXPECT_EQ(stolen, 0u);
+    } else {
+      // Stealing a tagged task IS a cross-piece steal (tagged tasks are
+      // always pushed to their home worker's deque).
+      EXPECT_EQ(run.pool.cross_piece_steals, stolen);
+      EXPECT_LE(run.pool.cross_piece_steals, run.pool.steals);
+    }
+  }
+}
+
+TEST(TreePieceStats, SinglePieceRunStaysUntagged) {
+  // With one piece the graph must be byte-identical to the pre-piece
+  // driver: no tags (which would pin work to one worker under stealing),
+  // no per-piece rows.
+  Prng rng(7);
+  const auto input = paper_input(10, rng);
+  ParallelConfig pc;
+  pc.num_threads = 4;
+  pc.pool_policy = PoolPolicy::kWorkStealing;
+  pc.pieces.num_pieces = 1;
+  const auto run = find_real_roots_parallel(input.poly, base_config(24), pc);
+  ASSERT_FALSE(run.used_sequential_fallback);
+  EXPECT_EQ(run.num_pieces, 1);
+  EXPECT_TRUE(run.pool.pieces.empty());
+  EXPECT_EQ(run.pool.cross_piece_steals, 0u);
+  for (const auto& e : run.pool.timeline.entries) EXPECT_EQ(e.piece, -1);
+}
+
+TEST(TreePieceStats, TimelineRoundTripsPieceIdsAndReadsLegacyLines) {
+  ExecutionTimeline tl;
+  tl.workers = 2;
+  tl.entries = {{0, 0, 0.0, 0.5, -1}, {1, 1, 0.1, 0.4, 3}};
+  std::ostringstream os;
+  tl.save(os);
+  std::istringstream is(os.str());
+  const auto back = ExecutionTimeline::load(is);
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].piece, -1);
+  EXPECT_EQ(back.entries[1].piece, 3);
+  // Pre-piece traces have no fifth field: default to -1.
+  std::istringstream legacy("2 2\n0 0 0.0 0.5\n1 1 0.1 0.4\n");
+  const auto old = ExecutionTimeline::load(legacy);
+  ASSERT_EQ(old.entries.size(), 2u);
+  EXPECT_EQ(old.entries[0].piece, -1);
+  EXPECT_EQ(old.entries[1].piece, -1);
+}
+
+// --- shutdown race with piece-tagged graphs ---------------------------------
+
+class PiecePoolPolicies : public ::testing::TestWithParam<PoolPolicy> {};
+
+// Mirror of the PR 2 shutdown regression (ThrowingTaskRacingLongTasks...)
+// with piece-tagged tasks: racing piece completion against a throwing
+// task must drain cleanly even though tagged tasks sit on specific home
+// deques when the bomb goes off.
+TEST_P(PiecePoolPolicies, ThrowingTaskRacesPieceCompletionCleanly) {
+  for (int round = 0; round < 8; ++round) {
+    TaskGraph g;
+    // Slow tagged tasks spread across four pieces, likely mid-flight when
+    // the bomb goes off.
+    for (int i = 0; i < 6; ++i) {
+      g.add(
+          TaskKind::kGeneric, i,
+          [] { (void)(BigInt::pow2(20000) * BigInt::pow2(20000)); }, i % 4);
+    }
+    g.add(TaskKind::kGeneric, 99, [] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      throw InvalidArgument("boom");
+    });
+    // Tagged work queued behind the slow tasks, including boundary-style
+    // send/recv pairs, so shutdown must abandon non-empty home deques.
+    std::atomic<int> late{0};
+    for (int i = 0; i < 32; ++i) {
+      const TaskId a = g.add(
+          i % 2 ? TaskKind::kPieceSend : TaskKind::kPieceRecv, i,
+          [&late] { ++late; }, i % 4);
+      g.add_edge(static_cast<TaskId>(i % 6), a);
+    }
+    TaskPool pool(4, GetParam());
+    EXPECT_THROW(pool.run(g), InvalidArgument) << "round " << round;
+  }
+}
+
+TEST_P(PiecePoolPolicies, TaggedGraphRunsAllTasksAndCountsThem) {
+  TaskGraph g;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    g.add(TaskKind::kGeneric, i, [&ran] { ++ran; }, i % 3);
+  }
+  EXPECT_EQ(g.max_piece(), 2);
+  TaskPool pool(3, GetParam());
+  const auto stats = pool.run(g);
+  EXPECT_EQ(ran.load(), 64);
+  ASSERT_EQ(stats.pieces.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& p : stats.pieces) total += p.tasks;
+  EXPECT_EQ(total, 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, PiecePoolPolicies,
+                         ::testing::Values(PoolPolicy::kCentralQueue,
+                                           PoolPolicy::kWorkStealing),
+                         [](const auto& param_info) {
+                           return param_info.param == PoolPolicy::kCentralQueue
+                                      ? std::string("Central")
+                                      : std::string("Stealing");
+                         });
+
+}  // namespace
+}  // namespace pr
