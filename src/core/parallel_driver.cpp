@@ -86,12 +86,35 @@ struct RunState {
   }
 };
 
+/// Publishes F_{i+1} from the staging area and checks normality.  A free
+/// function over RunState (NOT a GraphBuilder member): it runs inside
+/// pool tasks, which outlive the builder -- the builder is torn down as
+/// soon as the graph is staged.
+void finish_iteration(RunState& st, int i) {
+  Poly next{std::move(st.fstage[static_cast<std::size_t>(i + 1)])};
+  if (next.is_zero()) {
+    throw NonNormalSequence("repeated roots: F_" + std::to_string(i + 1) +
+                            " vanished");
+  }
+  if (next.degree() != st.n - i - 1) {
+    throw NonNormalSequence("premature degree drop at F_" +
+                            std::to_string(i + 1));
+  }
+  st.rs.c[static_cast<std::size_t>(i + 1)] = next.leading();
+  st.rs.F[static_cast<std::size_t>(i + 1)] = std::move(next);
+  if (i == st.n - 1 && real_root_count(st.rs) != st.n) {
+    throw NonNormalSequence("input has non-real roots");
+  }
+}
+
 /// Builds the whole task graph for one run.  Returns the id of the root
 /// node's roots-marker (the final task).
 class GraphBuilder {
  public:
-  GraphBuilder(RunState& st, TaskGraph& g, const ParallelConfig& pc)
-      : st_(st), g_(g), pc_(pc) {}
+  GraphBuilder(RunState& st, TaskGraph& g, const ParallelConfig& pc,
+               int piece_offset = 0, bool force_tags = false)
+      : st_(st), g_(g), pc_(pc), piece_offset_(piece_offset),
+        force_tags_(force_tags) {}
 
   void build() {
     build_remainder_stage();
@@ -102,6 +125,13 @@ class GraphBuilder {
   RunState& st_;
   TaskGraph& g_;
   const ParallelConfig& pc_;
+  /// Shift applied to every piece tag, so co-staged trees sharing one
+  /// graph occupy disjoint piece-id ranges (distinct home workers).
+  int piece_offset_ = 0;
+  /// Tag tasks even at one effective piece: a lone tree suppresses the
+  /// tag to avoid pinning itself to a single worker, but co-scheduled
+  /// trees want exactly that affinity.
+  bool force_tags_ = false;
 
   int chunk_size() const { return std::max(1, pc_.grain_chunk); }
 
@@ -124,16 +154,19 @@ class GraphBuilder {
   /// whole tree to worker 0 under the stealing policy.
   std::int32_t node_piece(int idx) const {
     const auto* part = st_.partition.get();
-    if (part == nullptr || part->num_pieces() < 2) return -1;
-    return part->piece_of(idx);
+    if (part == nullptr || (!force_tags_ && part->num_pieces() < 2)) return -1;
+    const int piece = part->piece_of(idx);
+    if (piece < 0) return -1;  // canopy stays untagged
+    return static_cast<std::int32_t>(piece_offset_ + piece);
   }
 
   /// Round-robin piece tag for stage-1 (pre-tree) task families.
   std::int32_t stage1_piece(std::size_t i) const {
     const auto* part = st_.partition.get();
-    if (part == nullptr || part->num_pieces() < 2) return -1;
-    return static_cast<std::int32_t>(i) %
-           static_cast<std::int32_t>(part->num_pieces());
+    if (part == nullptr || (!force_tags_ && part->num_pieces() < 2)) return -1;
+    return static_cast<std::int32_t>(piece_offset_) +
+           static_cast<std::int32_t>(i) %
+               static_cast<std::int32_t>(part->num_pieces());
   }
 
   /// NTT table cache for a node's combines (index 0 = canopy).
@@ -142,25 +175,6 @@ class GraphBuilder {
     const auto* part = st_.partition.get();
     const int piece = part != nullptr ? part->piece_of(idx) : -1;
     return st_.ntt_caches[static_cast<std::size_t>(piece + 1)].get();
-  }
-
-  void finish_iteration(int i) {
-    // Publishes F_{i+1} from the staging area and checks normality.
-    RunState& st = st_;
-    Poly next{std::move(st.fstage[static_cast<std::size_t>(i + 1)])};
-    if (next.is_zero()) {
-      throw NonNormalSequence("repeated roots: F_" + std::to_string(i + 1) +
-                              " vanished");
-    }
-    if (next.degree() != st.n - i - 1) {
-      throw NonNormalSequence("premature degree drop at F_" +
-                              std::to_string(i + 1));
-    }
-    st.rs.c[static_cast<std::size_t>(i + 1)] = next.leading();
-    st.rs.F[static_cast<std::size_t>(i + 1)] = std::move(next);
-    if (i == st.n - 1 && real_root_count(st.rs) != st.n) {
-      throw NonNormalSequence("input has non-real roots");
-    }
   }
 
   void make_quotient_task(int i) {
@@ -305,7 +319,7 @@ class GraphBuilder {
     for (int i = 1; i <= n - 1; ++i) {
       const auto ui = static_cast<std::size_t>(i);
       if (pc_.grain == RemainderGrain::kPerIteration) {
-        const TaskId it = g_.add(TaskKind::kCoeff, i, [&st, i, this] {
+        const TaskId it = g_.add(TaskKind::kCoeff, i, [&st, i] {
           instr::PhaseScope phase(instr::Phase::kRemainder);
           const auto uidx = static_cast<std::size_t>(i);
           const Poly& fprev = st.rs.F[uidx - 1];
@@ -323,7 +337,7 @@ class GraphBuilder {
                 fprev, fcur, st.q1[uidx], st.q0[uidx], st.ci_sq[uidx],
                 st.cprev_sq[uidx], static_cast<std::size_t>(j));
           }
-          finish_iteration(i);
+          finish_iteration(st, i);
         });
         g_.add_edge(mark_[ui], it);
         q_ready_[ui] = it;
@@ -333,7 +347,7 @@ class GraphBuilder {
 
       make_quotient_task(i);
       const TaskId marker = g_.add(TaskKind::kIterMark, i,
-                                   [this, i] { finish_iteration(i); });
+                                   [&st, i] { finish_iteration(st, i); });
       // Grain coarsening: fuse `chunk` consecutive coefficients into one
       // scheduled task (values are independent of the chunking; only the
       // dispatch count changes).
@@ -754,34 +768,57 @@ class GraphBuilder {
 
 }  // namespace
 
-ParallelRunResult find_real_roots_parallel(const Poly& p,
-                                           const RootFinderConfig& config,
-                                           const ParallelConfig& parallel) {
-  check_arg(p.degree() >= 1, "find_real_roots_parallel: degree >= 1");
-  check_arg(parallel.grain_chunk >= 1,
-            "find_real_roots_parallel: grain_chunk >= 1");
-  ParallelRunResult out;
+/// All of one staged run's mutable state plus the report metadata that is
+/// fixed at stage time.
+struct StagedParallelRun::Impl {
+  RunState state;
+  std::size_t mu = 0;
+  std::size_t bound = 0;
+  int degree = 0;  // of the original (pre-primitive-part) input
+  bool finished = false;
 
+  explicit Impl(const Poly& work) : state(work) {}
+};
+
+StagedParallelRun::StagedParallelRun() = default;
+StagedParallelRun::~StagedParallelRun() = default;
+
+int StagedParallelRun::num_pieces() const {
+  return impl_->state.partition->num_pieces();
+}
+
+int StagedParallelRun::split_level() const {
+  return impl_->state.partition->split_level();
+}
+
+std::unique_ptr<StagedParallelRun> stage_parallel_run(
+    const Poly& p, const RootFinderConfig& config,
+    const ParallelConfig& parallel, TaskGraph& graph, int piece_tag_offset,
+    bool force_piece_tags) {
+  check_arg(parallel.grain_chunk >= 1, "stage_parallel_run: grain_chunk >= 1");
+  check_arg(piece_tag_offset >= 0, "stage_parallel_run: piece offset >= 0");
   const Poly work = p.primitive_part();
-  if (work.degree() == 1) {
-    out.report = find_real_roots(p, config);
-    out.used_sequential_fallback = true;
-    return out;
-  }
+  check_arg(work.degree() >= 2,
+            "stage_parallel_run: degree >= 2 (solve linear inputs directly)");
 
-  RunState state(work);
+  auto run = std::unique_ptr<StagedParallelRun>(new StagedParallelRun());
+  run->impl_ = std::make_unique<StagedParallelRun::Impl>(work);
+  StagedParallelRun::Impl& impl = *run->impl_;
+  RunState& state = impl.state;
+  impl.mu = config.mu_bits;
+  impl.degree = p.degree();
   state.mu = config.mu_bits;
   state.solver = config.solver;
   state.modular = config.modular;
-  const std::size_t bound = root_bound_pow2(work);
-  state.bound_scaled = BigInt::pow2(bound + config.mu_bits);
+  impl.bound = root_bound_pow2(work);
+  state.bound_scaled = BigInt::pow2(impl.bound + config.mu_bits);
 
   // Resolve the TreePiece decomposition: 0 pieces = one per worker;
   // explicit split levels are clamped to the tree's depth so a deep
   // request on a shallow tree degrades instead of throwing.
   {
     check_arg(parallel.pieces.num_pieces >= 0,
-              "find_real_roots_parallel: num_pieces >= 0");
+              "stage_parallel_run: num_pieces >= 0");
     const int requested = parallel.pieces.num_pieces == 0
                               ? std::max(1, parallel.num_threads)
                               : parallel.pieces.num_pieces;
@@ -796,21 +833,61 @@ ParallelRunResult find_real_roots_parallel(const Poly& p,
       c = std::make_unique<modular::NttTableCache>();
     }
   }
-  out.num_pieces = state.partition->num_pieces();
-  out.split_level = state.partition->split_level();
 
   // Stage 1 goes multimodular only when both enabled and big enough; the
   // explicit sequential_remainder request keeps its one-task exact shape.
   if (state.modular.enabled && !parallel.sequential_remainder) {
-    auto prs =
-        std::make_unique<modular::MultimodularPrs>(work, state.modular);
+    auto prs = std::make_unique<modular::MultimodularPrs>(work, state.modular);
     if (prs->worthwhile()) state.mprs = std::move(prs);
   }
 
-  TaskGraph graph;
-  GraphBuilder builder(state, graph, parallel);
+  GraphBuilder builder(state, graph, parallel, piece_tag_offset,
+                       force_piece_tags);
   builder.build();
+  return run;
+}
+
+RootReport finish_staged_run(StagedParallelRun& run) {
+  StagedParallelRun::Impl& impl = *run.impl_;
+  check_arg(!impl.finished, "finish_staged_run: already finished");
+  impl.finished = true;
+  RunState& state = impl.state;
+  // Teardown invariant: every boundary message the pieces posted must
+  // have been consumed by a canopy recv task.
+  state.canopy->assert_drained();
+
+  RootReport report;
+  report.mu = impl.mu;
+  report.degree = impl.degree;
+  report.distinct_roots = state.work.degree();
+  report.bound_pow2 = impl.bound;
+  report.roots = state.tree.node(state.tree.root_index()).roots;
+  report.multiplicities.assign(report.roots.size(), 1);
+  for (const auto& sc : state.scratch) {
+    for (const auto& s : sc.stats) report.stats += s;
+  }
+  return report;
+}
+
+ParallelRunResult find_real_roots_parallel(const Poly& p,
+                                           const RootFinderConfig& config,
+                                           const ParallelConfig& parallel) {
+  check_arg(p.degree() >= 1, "find_real_roots_parallel: degree >= 1");
+  check_arg(parallel.grain_chunk >= 1,
+            "find_real_roots_parallel: grain_chunk >= 1");
+  ParallelRunResult out;
+
+  if (p.primitive_part().degree() == 1) {
+    out.report = find_real_roots(p, config);
+    out.used_sequential_fallback = true;
+    return out;
+  }
+
+  TaskGraph graph;
+  auto staged = stage_parallel_run(p, config, parallel, graph);
   graph.validate();
+  out.num_pieces = staged->num_pieces();
+  out.split_level = staged->split_level();
 
   TaskPool pool(parallel.num_threads, parallel.pool_policy);
   try {
@@ -823,16 +900,7 @@ ParallelRunResult find_real_roots_parallel(const Poly& p,
     return out;
   }
 
-  RootReport& report = out.report;
-  report.mu = config.mu_bits;
-  report.degree = p.degree();
-  report.distinct_roots = work.degree();
-  report.bound_pow2 = bound;
-  report.roots = state.tree.node(state.tree.root_index()).roots;
-  report.multiplicities.assign(report.roots.size(), 1);
-  for (const auto& sc : state.scratch) {
-    for (const auto& s : sc.stats) report.stats += s;
-  }
+  out.report = finish_staged_run(*staged);
   out.trace = TaskTrace::from_graph(graph);
   return out;
 }

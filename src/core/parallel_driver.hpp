@@ -18,6 +18,8 @@
 // count: each task is a pure function of its dependencies' outputs.
 #pragma once
 
+#include <memory>
+
 #include "core/root_finder.hpp"
 #include "core/tree_piece.hpp"
 #include "sched/task_pool.hpp"
@@ -75,5 +77,56 @@ struct ParallelRunResult {
 ParallelRunResult find_real_roots_parallel(const Poly& p,
                                            const RootFinderConfig& config,
                                            const ParallelConfig& parallel);
+
+/// One polynomial's run staged into a caller-owned TaskGraph, so that
+/// several runs can share a single TaskPool execution -- the batching
+/// seam the RootService driver (src/service/) is built on.  The object
+/// owns all of the run's mutable state; it must outlive the graph's
+/// execution, and finish_staged_run() may be called exactly once, after
+/// the pool ran the graph to completion.
+class StagedParallelRun {
+ public:
+  StagedParallelRun(const StagedParallelRun&) = delete;
+  StagedParallelRun& operator=(const StagedParallelRun&) = delete;
+  ~StagedParallelRun();
+
+  /// Effective TreePiece count / split level of this run's tree (before
+  /// the stage-time piece-tag offset is applied).
+  int num_pieces() const;
+  int split_level() const;
+
+ private:
+  StagedParallelRun();
+  friend std::unique_ptr<StagedParallelRun> stage_parallel_run(
+      const Poly& p, const RootFinderConfig& config,
+      const ParallelConfig& parallel, TaskGraph& graph, int piece_tag_offset,
+      bool force_piece_tags);
+  friend RootReport finish_staged_run(StagedParallelRun& run);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Builds the full two-stage task graph for `p` into `graph` (which may
+/// already hold other runs' tasks).  Piece tags are shifted by
+/// `piece_tag_offset` so concurrent trees occupy disjoint piece-id ranges
+/// -- and therefore distinct home workers under the stealing policy.
+/// `force_piece_tags` tags tasks even when the tree has a single
+/// effective piece (a standalone run suppresses tags at one piece to
+/// avoid pinning the whole tree to worker 0; co-scheduled trees want the
+/// tag precisely for that affinity).  Preconditions: p.degree() >= 2
+/// (callers solve the linear case directly, as find_real_roots does).
+/// A NonNormalSequence raised by the staged tasks (repeated roots,
+/// non-real roots) surfaces from TaskPool::run; the caller owns the
+/// sequential-fallback policy.
+std::unique_ptr<StagedParallelRun> stage_parallel_run(
+    const Poly& p, const RootFinderConfig& config,
+    const ParallelConfig& parallel, TaskGraph& graph,
+    int piece_tag_offset = 0, bool force_piece_tags = false);
+
+/// Extracts the RootReport after the shared graph ran to completion.
+/// Also asserts every TreePiece boundary mailbox was drained (throws
+/// InternalError naming the piece otherwise).
+RootReport finish_staged_run(StagedParallelRun& run);
 
 }  // namespace pr

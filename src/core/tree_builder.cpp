@@ -168,6 +168,7 @@ void run_tree_by_pieces(Tree& tree, const TreePartition& part,
   for (int idx : part.canopy_nodes()) {
     compute_node_roots(tree, idx, mu, bound_scaled, config, stats);
   }
+  canopy.assert_drained();
 }
 
 }  // namespace pr

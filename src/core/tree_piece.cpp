@@ -18,6 +18,10 @@ int count_at_level(const Tree& tree, int level) {
   return count;
 }
 
+const char* phase_name(BoundaryMessage::Phase phase) {
+  return phase == BoundaryMessage::Phase::kPoly ? "kPoly" : "kRoots";
+}
+
 }  // namespace
 
 TreePartition::TreePartition(const Tree& tree, int num_pieces,
@@ -98,9 +102,21 @@ BoundaryMessage PieceMailbox::take(int node, BoundaryMessage::Phase phase) {
       return out;
     }
   }
-  throw InternalError("PieceMailbox::take: no message for node " +
-                      std::to_string(node) + " phase " +
-                      std::to_string(static_cast<int>(phase)));
+  // Name everything the log reader needs: which piece's inbox, which
+  // (node, phase) the canopy expected, and what is actually pending.
+  std::string what = "PieceMailbox::take: piece " + std::to_string(piece_) +
+                     ": no message for node " + std::to_string(node) +
+                     " phase " + phase_name(phase) + " (pending:";
+  if (messages_.empty()) {
+    what += " none";
+  } else {
+    for (const auto& m : messages_) {
+      what += " [from piece " + std::to_string(m.from_piece) + " node " +
+              std::to_string(m.node) + " " + phase_name(m.phase) + "]";
+    }
+  }
+  what += ")";
+  throw InternalError(what);
 }
 
 std::size_t PieceMailbox::pending() const {
@@ -111,11 +127,31 @@ std::size_t PieceMailbox::pending() const {
 TreeCanopy::TreeCanopy(int num_pieces)
     : inboxes_(static_cast<std::size_t>(num_pieces)) {
   check_arg(num_pieces >= 1, "TreeCanopy: num_pieces >= 1");
+  for (int p = 0; p < num_pieces; ++p) {
+    inboxes_[static_cast<std::size_t>(p)].set_piece(p);
+  }
 }
 
 PieceMailbox& TreeCanopy::inbox(int piece) {
   check_arg(piece >= 0 && piece < num_pieces(), "TreeCanopy: bad piece id");
   return inboxes_[static_cast<std::size_t>(piece)];
+}
+
+std::size_t TreeCanopy::pending() const {
+  std::size_t total = 0;
+  for (const auto& box : inboxes_) total += box.pending();
+  return total;
+}
+
+void TreeCanopy::assert_drained() const {
+  if (pending() == 0) return;
+  std::string what = "TreeCanopy: mailboxes not drained at tree teardown:";
+  for (const auto& box : inboxes_) {
+    if (box.pending() == 0) continue;
+    what += " piece " + std::to_string(box.piece()) + " holds " +
+            std::to_string(box.pending()) + " message(s);";
+  }
+  throw InternalError(what);
 }
 
 void send_poly_boundary(Tree& tree, int node, int from_piece,

@@ -113,7 +113,9 @@ struct BoundaryMessage {
 /// roots can share a piece (when the requested piece count is smaller
 /// than the node count at the split level), so posts may race; takes are
 /// keyed by (node, phase).  Taking a message that was never posted is an
-/// ownership bug and throws InternalError.
+/// ownership bug and throws InternalError naming the piece, node and
+/// phase (plus what IS pending), so a failure under service load is
+/// diagnosable from the log alone.
 class PieceMailbox {
  public:
   void post(BoundaryMessage msg);
@@ -122,8 +124,13 @@ class PieceMailbox {
   /// Messages currently held (posted and not yet taken).
   std::size_t pending() const;
 
+  /// Owning piece id, stamped into diagnostics (-1 = unowned/standalone).
+  void set_piece(int piece) { piece_ = piece; }
+  int piece() const { return piece_; }
+
  private:
   mutable std::mutex mutex_;
+  int piece_ = -1;
   std::vector<BoundaryMessage> messages_;
 };
 
@@ -134,6 +141,15 @@ class TreeCanopy {
   explicit TreeCanopy(int num_pieces);
   int num_pieces() const { return static_cast<int>(inboxes_.size()); }
   PieceMailbox& inbox(int piece);
+
+  /// Total messages posted but never taken, across all inboxes.
+  std::size_t pending() const;
+  /// Tree teardown check: every boundary message must have been consumed.
+  /// Throws InternalError listing each inbox's (piece, node, phase)
+  /// leftovers -- an undrained mailbox means a recv task never ran, which
+  /// under service load would silently leak one tree's results into the
+  /// diagnosis of the next.
+  void assert_drained() const;
 
  private:
   std::vector<PieceMailbox> inboxes_;

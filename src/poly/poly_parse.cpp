@@ -67,12 +67,19 @@ struct Parser {
       saw_number = true;
     }
     skip_ws();
+    bool saw_star = false;
     if (peek() == '*') {
       if (!saw_number) fail("dangling '*'");
       ++pos;
+      saw_star = true;
       skip_ws();
     }
     std::size_t exp = 0;
+    if (saw_star && peek() != var) {
+      // '*' joins a coefficient to the variable; "3*" / "3*+x" used to be
+      // silently accepted as the bare constant.
+      fail(std::string("expected '") + var + "' after '*'");
+    }
     if (peek() == var) {
       ++pos;
       exp = parse_exponent();

@@ -60,6 +60,9 @@
 #include "sched/task_graph.hpp"               // IWYU pragma: export
 #include "sched/task_pool.hpp"                // IWYU pragma: export
 #include "sched/trace.hpp"                    // IWYU pragma: export
+#include "service/canonical.hpp"              // IWYU pragma: export
+#include "service/result_cache.hpp"           // IWYU pragma: export
+#include "service/root_service.hpp"           // IWYU pragma: export
 #include "sim/des.hpp"                        // IWYU pragma: export
 #include "support/error.hpp"                  // IWYU pragma: export
 #include "verify/certificate.hpp"             // IWYU pragma: export

@@ -1,0 +1,54 @@
+// Request canonicalization for the RootService (src/service/).
+//
+// Two textually different requests often name the same root set:
+// "2x^2 - 4" and "x^2 - 2" differ by a content factor, "-x^2 + 2" by the
+// sign of the leading coefficient.  Neither transform moves a root, so
+// the service folds every request onto a canonical representative --
+// the primitive part with positive leading coefficient -- and keys its
+// result cache by a hash of that representative.  The divided-out content
+// and the sign flip are recorded in the CanonicalRequest so the mapping
+// back from cached roots is explicit (for this normalization it is the
+// identity on roots; the record is what makes that exactness auditable).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "poly/poly.hpp"
+
+namespace pr::service {
+
+/// A parsed, validated request in canonical form.
+struct CanonicalRequest {
+  /// Primitive part of the input, positive leading coefficient.  Its
+  /// roots (with multiplicities) are exactly the input's roots.
+  Poly canonical;
+  /// Positive content divided out of the input (|leading gcd| factor).
+  BigInt content;
+  /// True iff normalization flipped the sign of the leading coefficient.
+  bool negated = false;
+  /// Requested output precision, ceil(2^mu x) convention.
+  std::size_t mu_bits = 0;
+  /// Cache key: canonical_poly_hash(canonical).  Collisions are resolved
+  /// by exact comparison against `canonical`, never trusted blindly.
+  std::uint64_t hash = 0;
+};
+
+/// Deterministic 64-bit hash over (degree, coefficient signs and limbs).
+/// Stable within a process run and across threads; NOT a persistence
+/// format (limb layout, not decimal digits, is what gets hashed).
+std::uint64_t canonical_poly_hash(const Poly& p);
+
+/// Canonicalizes an already-parsed polynomial.  Throws InvalidArgument if
+/// p is constant (degree < 1): the root finder's contract.
+CanonicalRequest canonicalize(const Poly& p, std::size_t mu_bits);
+
+/// Parses one request line and canonicalizes it.  Parse errors propagate
+/// as InvalidArgument carrying the offending position and input text
+/// (Poly::parse's diagnostic); validation failures (constant input) get
+/// the same treatment.  This is the single entry point service requests
+/// go through, so every rejection is diagnosable from the message alone.
+CanonicalRequest parse_request(std::string_view text, std::size_t mu_bits);
+
+}  // namespace pr::service

@@ -1,0 +1,66 @@
+#include "service/result_cache.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace pr::service {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      shards_(std::max<std::size_t>(1, shards)) {
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, (capacity_ + shards_.size() - 1) /
+                                   shards_.size());
+}
+
+std::shared_ptr<const CacheEntry> ResultCache::find(std::uint64_t hash,
+                                                    const Poly& canonical) {
+  Shard& sh = shard_for(hash);
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  for (auto it = sh.lru.begin(); it != sh.lru.end(); ++it) {
+    if (it->hash == hash && it->entry->canonical == canonical) {
+      sh.lru.splice(sh.lru.begin(), sh.lru, it);  // freshen
+      return sh.lru.front().entry;
+    }
+  }
+  return nullptr;
+}
+
+void ResultCache::insert(std::uint64_t hash,
+                         std::shared_ptr<const CacheEntry> entry) {
+  check_arg(entry != nullptr, "ResultCache::insert: null entry");
+  Shard& sh = shard_for(hash);
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  for (auto it = sh.lru.begin(); it != sh.lru.end(); ++it) {
+    if (it->hash == hash && it->entry->canonical == entry->canonical) {
+      sh.lru.erase(it);  // replaced below (upgrade / refresh)
+      break;
+    }
+  }
+  sh.lru.push_front(Item{hash, std::move(entry)});
+  while (sh.lru.size() > per_shard_capacity_) {
+    sh.lru.pop_back();
+    sh.evictions += 1;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    total += sh.lru.size();
+  }
+  return total;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    total += sh.evictions;
+  }
+  return total;
+}
+
+}  // namespace pr::service

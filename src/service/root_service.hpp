@@ -1,0 +1,162 @@
+// RootService: the batched request driver over the root-finding library.
+//
+// The library solves one polynomial per call; production traffic is a
+// stream of concurrent, often-repeated queries.  Following the paratreet
+// Driver/CacheManager split, this layer is a thin orchestrator over the
+// existing machinery:
+//
+//   request text --> parse/validate --> canonicalize (service/canonical)
+//       --> ResultCache lookup (full hit / derived hit / refine upgrade)
+//       --> in-flight dedup (identical concurrent requests share one run)
+//       --> batched execution: every cache-missing tree of a batch is
+//           staged into ONE TaskGraph (core/parallel_driver's staged-run
+//           API) with offset TreePiece tags, so concurrent trees land on
+//           distinct pieces -- and therefore distinct home workers under
+//           the stealing policy -- and one TaskPool runs them all.
+//
+// Cache semantics (all results bit-identical to a per-call cold run):
+//   * full hit      -- same polynomial, same mu: the stored report.
+//   * derived hit   -- same polynomial, LOWER mu: ceil(2^a x) is derived
+//                      exactly from the stored ceil(2^b x), b > a, via
+//                      ceil(ceil(y)/m) == ceil(y/m).
+//   * refine upgrade -- same polynomial, HIGHER mu: re-enters at
+//                      refine_root on the stored isolating cells instead
+//                      of recomputing the remainder sequence and tree;
+//                      falls back to a cold run when the stored cells do
+//                      not isolate (two roots sharing a cell at the old
+//                      precision).  The upgraded report replaces the
+//                      cache entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/parallel_driver.hpp"
+#include "core/root_finder.hpp"
+#include "service/canonical.hpp"
+#include "service/result_cache.hpp"
+
+namespace pr::service {
+
+struct ServiceConfig {
+  /// Per-request solver settings; finder.mu_bits is the default precision
+  /// for requests that do not specify their own.
+  RootFinderConfig finder;
+  /// Shared-pool execution: thread count, queue policy, grain and
+  /// TreePiece decomposition (pieces per tree; batch staging offsets the
+  /// piece tags so co-scheduled trees stay disjoint).
+  ParallelConfig parallel;
+  bool cache_enabled = true;
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+  /// Largest number of cache-missing trees co-staged into one shared
+  /// TaskGraph/TaskPool execution by run_batch().
+  int max_batch_width = 8;
+};
+
+/// How a request's result was produced.
+enum class CacheOutcome {
+  kMiss,        ///< cold solve (remainder sequence + tree)
+  kHitFull,     ///< stored report returned as-is
+  kHitDerived,  ///< exact ceiling-division downgrade of a stored report
+  kHitRefined,  ///< refine_root upgrade of stored isolating cells
+};
+
+struct ServiceResult {
+  bool ok = false;
+  /// Parse/validation diagnostic (includes input position and text).
+  std::string error;
+  RootReport report;
+  CacheOutcome outcome = CacheOutcome::kMiss;
+  /// True iff this request waited on (or joined) an identical request
+  /// already in flight instead of doing its own work.
+  bool deduplicated = false;
+  std::uint64_t key_hash = 0;
+};
+
+/// Monotonic counters; snapshot via RootService::stats().
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t invalid = 0;        ///< parse/validation rejections
+  std::uint64_t misses = 0;         ///< cold solver executions
+  std::uint64_t hits_full = 0;
+  std::uint64_t hits_derived = 0;
+  std::uint64_t hits_refined = 0;
+  std::uint64_t refine_fallbacks = 0;  ///< upgrade demoted to cold solve
+  std::uint64_t dedup_waits = 0;    ///< joined an in-flight identical run
+  std::uint64_t batch_dedup = 0;    ///< duplicate lines within one batch
+  std::uint64_t batch_runs = 0;     ///< shared-pool executions
+  std::uint64_t batch_staged = 0;   ///< trees co-scheduled across them
+  std::uint64_t batch_fallbacks = 0;  ///< shared runs demoted to per-call
+  std::uint64_t evictions = 0;
+  std::uint64_t cache_size = 0;
+
+  std::uint64_t hits_total() const {
+    return hits_full + hits_derived + hits_refined;
+  }
+};
+
+class RootService {
+ public:
+  explicit RootService(ServiceConfig config = {});
+  ~RootService();
+  RootService(const RootService&) = delete;
+  RootService& operator=(const RootService&) = delete;
+
+  /// One request at the default precision / an explicit precision.
+  /// Never throws on bad input: rejections come back as !ok results.
+  /// Safe to call from any number of threads concurrently.
+  ServiceResult submit(std::string_view text);
+  ServiceResult submit(std::string_view text, std::size_t mu_bits);
+  /// Pre-parsed entry point (same pipeline minus the parse).
+  ServiceResult solve(const Poly& p, std::size_t mu_bits);
+
+  /// One request line per element, all at the default precision.
+  /// Duplicates inside the batch collapse onto one computation; distinct
+  /// cache misses are co-staged onto one shared TaskPool in groups of
+  /// max_batch_width.  Results are positionally aligned with `lines`.
+  std::vector<ServiceResult> run_batch(const std::vector<std::string>& lines);
+
+  ServiceStats stats() const;
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Flight;
+  struct StatsCells;
+
+  ServiceResult execute(const CanonicalRequest& req);
+  ServiceResult compute_miss(const CanonicalRequest& req);
+  /// Full or derived hit from `entry`, or no value if the request needs
+  /// an upgrade (entry precision below the request's).
+  bool result_from_entry(const std::shared_ptr<const CacheEntry>& entry,
+                         const CanonicalRequest& req, ServiceResult& out);
+  /// Refine-upgrade attempt; false (with the fallback counted) when the
+  /// stored cells do not isolate or refinement fails.
+  bool try_refine_upgrade(const std::shared_ptr<const CacheEntry>& entry,
+                          const CanonicalRequest& req, ServiceResult& out);
+  ServiceResult finalize_cold(const CanonicalRequest& req, RootReport report);
+  RootReport cold_report(const Poly& canonical, std::size_t mu_bits);
+
+  std::shared_ptr<Flight> join_or_create_flight(const CanonicalRequest& req,
+                                                bool& winner);
+  void fulfill_flight(const CanonicalRequest& req,
+                      const std::shared_ptr<Flight>& flight,
+                      const ServiceResult& result);
+
+  ServiceConfig config_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<StatsCells> stats_;
+
+  std::mutex flights_mutex_;
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<Flight>>>
+      flights_;
+};
+
+}  // namespace pr::service

@@ -1,7 +1,10 @@
 #include "support/text.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/error.hpp"
 
@@ -64,6 +67,24 @@ double ls_slope(const std::vector<double>& x, const std::vector<double>& y) {
   const double denom = n * sxx - sx * sx;
   check_arg(std::fabs(denom) > 1e-12, "ls_slope: degenerate x values");
   return (n * sxy - sx * sy) / denom;
+}
+
+bool parse_long_strict(const char* s, long min, long max, long& out) {
+  if (s == nullptr || *s == '\0') return false;
+  // strtol itself skips leading whitespace; a CLI value must start with
+  // the number.
+  if (!(s[0] == '+' || s[0] == '-' ||
+        std::isdigit(static_cast<unsigned char>(s[0])))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;    // no digits / trailing junk
+  if (errno == ERANGE) return false;             // overflowed long itself
+  if (v < min || v > max) return false;
+  out = v;
+  return true;
 }
 
 }  // namespace pr

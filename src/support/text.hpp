@@ -35,4 +35,11 @@ class TextTable {
 /// Least-squares slope of y against x (used for log-log scaling fits).
 double ls_slope(const std::vector<double>& x, const std::vector<double>& y);
 
+/// Strict decimal-integer parse for CLI arguments: optional sign, digits,
+/// nothing else.  Rejects empty input, leading/trailing garbage ("12abc",
+/// "x", " 3"), and values outside [min, max]; `out` is written only on
+/// success.  The checked replacement for bare std::atoi, whose silent 0 on
+/// garbage turns "--threads x" into an unintended sequential run.
+bool parse_long_strict(const char* s, long min, long max, long& out);
+
 }  // namespace pr

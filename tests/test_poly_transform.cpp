@@ -137,6 +137,34 @@ TEST(Parse, RejectsMalformedInput) {
   EXPECT_THROW(Poly::parse("x^-2"), InvalidArgument);
 }
 
+TEST(Parse, RejectsDanglingStar) {
+  // Regression: a '*' with no variable after it used to be silently
+  // dropped, so "3*" parsed as the constant 3 and "3*+x" as x + 3.
+  EXPECT_THROW(Poly::parse("3*"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("3*+x"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("x^2 + 3* - 1"), InvalidArgument);
+  EXPECT_THROW(Poly::parse("3 * 4"), InvalidArgument);
+}
+
+TEST(Parse, DiagnosticsCarryPositionAndContext) {
+  // Service error paths surface these messages verbatim, so they must
+  // name the position and what was expected.
+  try {
+    Poly::parse("x^2 + 3* - 1");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("position"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'x' after '*'"), std::string::npos) << msg;
+  }
+  try {
+    Poly::parse("x^-2");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+  }
+}
+
 TEST(Parse, RoundTripsRandomPolynomials) {
   Prng rng(321);
   for (int iter = 0; iter < 60; ++iter) {

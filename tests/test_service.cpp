@@ -1,0 +1,408 @@
+// RootService (src/service/): canonicalization, the result cache's
+// full/derived/refined hit ladder (bit-identical to cold runs at every
+// thread count), LRU evictions, in-flight dedup, and batched execution.
+#include "service/root_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/root_finder.hpp"
+#include "gen/classic_polys.hpp"
+#include "gen/matrix_polys.hpp"
+#include "service/canonical.hpp"
+#include "service/result_cache.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace pr {
+namespace {
+
+using service::CacheEntry;
+using service::CacheOutcome;
+using service::RootService;
+using service::ServiceConfig;
+using service::ServiceResult;
+
+/// Bit-identity = every RootReport field except `stats` (instrumentation
+/// differs between a cold tree run and, say, a refine re-entry; the
+/// mathematical content must not).
+void expect_same_report(const RootReport& a, const RootReport& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.roots, b.roots) << label;
+  EXPECT_EQ(a.multiplicities, b.multiplicities) << label;
+  EXPECT_EQ(a.mu, b.mu) << label;
+  EXPECT_EQ(a.bound_pow2, b.bound_pow2) << label;
+  EXPECT_EQ(a.degree, b.degree) << label;
+  EXPECT_EQ(a.distinct_roots, b.distinct_roots) << label;
+  EXPECT_EQ(a.squarefree_reduced, b.squarefree_reduced) << label;
+  EXPECT_EQ(a.used_sturm_fallback, b.used_sturm_fallback) << label;
+}
+
+ServiceConfig config_for(int threads, std::size_t mu = 53) {
+  ServiceConfig cfg;
+  cfg.finder.mu_bits = mu;
+  cfg.parallel.num_threads = threads;
+  return cfg;
+}
+
+// --- canonicalization -------------------------------------------------------
+
+TEST(Canonical, FoldsContentAndLeadingSign) {
+  const auto base = service::canonicalize(Poly::parse("x^2 - 2"), 53);
+  const auto scaled = service::canonicalize(Poly::parse("2x^2 - 4"), 53);
+  const auto negated = service::canonicalize(Poly::parse("-x^2 + 2"), 53);
+  EXPECT_EQ(base.canonical, scaled.canonical);
+  EXPECT_EQ(base.canonical, negated.canonical);
+  EXPECT_EQ(base.hash, scaled.hash);
+  EXPECT_EQ(base.hash, negated.hash);
+  // The divided-out transform is recorded, making exactness auditable.
+  EXPECT_EQ(scaled.content, BigInt(2));
+  EXPECT_FALSE(scaled.negated);
+  EXPECT_TRUE(negated.negated);
+  EXPECT_FALSE(base.negated);
+  EXPECT_EQ(base.canonical.leading().signum(), 1);
+}
+
+TEST(Canonical, RejectsConstantInput) {
+  EXPECT_THROW(service::canonicalize(Poly::constant(BigInt(7)), 53),
+               InvalidArgument);
+  EXPECT_THROW(service::parse_request("42", 53), InvalidArgument);
+}
+
+TEST(Canonical, HashSeparatesNearbyPolynomials) {
+  const char* inputs[] = {"x^2 - 2", "x^2 + 2", "x^2 - 3", "x^3 - 2",
+                          "2x^2 - 2", "x^2 - 2x", "x - 2"};
+  std::vector<std::uint64_t> hashes;
+  for (const char* s : inputs) {
+    hashes.push_back(service::parse_request(s, 53).hash);
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << inputs[i] << " vs " << inputs[j];
+    }
+  }
+}
+
+// --- result cache -----------------------------------------------------------
+
+TEST(ResultCache, InsertFindAndReplace) {
+  service::ResultCache cache(4, 1);
+  const auto req = service::parse_request("x^2 - 2", 30);
+  EXPECT_EQ(cache.find(req.hash, req.canonical), nullptr);
+  auto entry = std::make_shared<CacheEntry>();
+  entry->canonical = req.canonical;
+  entry->refine_poly = req.canonical;
+  entry->report.mu = 30;
+  cache.insert(req.hash, entry);
+  auto got = cache.find(req.hash, req.canonical);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->report.mu, 30u);
+  // Same polynomial again: replaced, not duplicated.
+  auto upgraded = std::make_shared<CacheEntry>(*entry);
+  upgraded->report.mu = 60;
+  cache.insert(req.hash, upgraded);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(req.hash, req.canonical)->report.mu, 60u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  service::ResultCache cache(2, 1);
+  const char* inputs[] = {"x^2 - 2", "x^2 - 3", "x^2 - 5"};
+  std::vector<service::CanonicalRequest> reqs;
+  for (const char* s : inputs) {
+    reqs.push_back(service::parse_request(s, 30));
+    auto entry = std::make_shared<CacheEntry>();
+    entry->canonical = reqs.back().canonical;
+    entry->refine_poly = reqs.back().canonical;
+    cache.insert(reqs.back().hash, entry);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The oldest entry went; the two recent ones stayed.
+  EXPECT_EQ(cache.find(reqs[0].hash, reqs[0].canonical), nullptr);
+  EXPECT_NE(cache.find(reqs[1].hash, reqs[1].canonical), nullptr);
+  EXPECT_NE(cache.find(reqs[2].hash, reqs[2].canonical), nullptr);
+}
+
+// --- service: hit ladder ----------------------------------------------------
+
+class ServiceThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceThreads, CacheHitsAreBitIdenticalToColdRuns) {
+  const int threads = GetParam();
+  Prng rng(99);
+  const auto input = paper_input(8, rng);
+  RootService service(config_for(threads, 40));
+
+  RootFinderConfig cold_cfg;
+  cold_cfg.mu_bits = 40;
+  const RootReport cold = find_real_roots(input.poly, cold_cfg);
+
+  const auto miss = service.solve(input.poly, 40);
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_EQ(miss.outcome, CacheOutcome::kMiss);
+  expect_same_report(miss.report, cold, "cold vs direct");
+
+  const auto hit = service.solve(input.poly, 40);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.outcome, CacheOutcome::kHitFull);
+  expect_same_report(hit.report, cold, "full hit");
+
+  // Lower precision: derived exactly from the stored roots.
+  cold_cfg.mu_bits = 17;
+  const RootReport cold_lo = find_real_roots(input.poly, cold_cfg);
+  const auto derived = service.solve(input.poly, 17);
+  ASSERT_TRUE(derived.ok);
+  EXPECT_EQ(derived.outcome, CacheOutcome::kHitDerived);
+  expect_same_report(derived.report, cold_lo, "derived hit");
+
+  // Higher precision: re-enters at refine_root, replaces the entry.
+  cold_cfg.mu_bits = 90;
+  const RootReport cold_hi = find_real_roots(input.poly, cold_cfg);
+  const auto refined = service.solve(input.poly, 90);
+  ASSERT_TRUE(refined.ok);
+  EXPECT_EQ(refined.outcome, CacheOutcome::kHitRefined);
+  expect_same_report(refined.report, cold_hi, "refined hit");
+
+  // The upgraded entry now serves the higher precision as a full hit.
+  const auto hit_hi = service.solve(input.poly, 90);
+  ASSERT_TRUE(hit_hi.ok);
+  EXPECT_EQ(hit_hi.outcome, CacheOutcome::kHitFull);
+  expect_same_report(hit_hi.report, cold_hi, "post-upgrade full hit");
+
+  const auto s = service.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits_full, 2u);
+  EXPECT_EQ(s.hits_derived, 1u);
+  EXPECT_EQ(s.hits_refined, 1u);
+}
+
+TEST_P(ServiceThreads, RefineUpgradeOfReducedAndFallbackInputs) {
+  const int threads = GetParam();
+  RootService service(config_for(threads));
+  // Repeated roots: the cold run reduces to the squarefree part, so the
+  // cached cells isolate roots of that part, not of the input itself.
+  const Poly repeated = poly_from_integer_roots({-3, 1, 1, 4});
+  // Non-real roots: the Sturm fallback (which also reduces first).
+  const Poly complexish = Poly::parse("x^4 + x^2 + 1") * Poly::parse("x - 2");
+  for (const Poly& p : {repeated, complexish}) {
+    RootFinderConfig cold_cfg;
+    cold_cfg.mu_bits = 20;
+    service.solve(p, 20);
+    cold_cfg.mu_bits = 70;
+    const RootReport cold_hi = find_real_roots(p, cold_cfg);
+    const auto refined = service.solve(p, 70);
+    ASSERT_TRUE(refined.ok) << refined.error;
+    expect_same_report(refined.report, cold_hi, p.to_string());
+  }
+  EXPECT_EQ(service.stats().hits_refined, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ServiceThreads, ::testing::Values(1, 2, 8),
+                         [](const auto& info) {
+                           return "T" + std::to_string(info.param);
+                         });
+
+TEST(Service, SharedCellBlocksRefineUpgrade) {
+  // (64x-1)(64x-3): roots 1/64 and 3/64 share the value ceil(2^2 x) = 1,
+  // so the stored cells do not isolate and the upgrade must recompute
+  // cold instead of refining a two-root cell.
+  const Poly p = Poly::parse("4096x^2 - 256x + 3");
+  RootService service(config_for(1));
+  const auto lo = service.solve(p, 2);
+  ASSERT_TRUE(lo.ok) << lo.error;
+  ASSERT_EQ(lo.report.roots.size(), 2u);
+  ASSERT_EQ(lo.report.roots[0], lo.report.roots[1]);
+
+  RootFinderConfig cold_cfg;
+  cold_cfg.mu_bits = 40;
+  const RootReport cold = find_real_roots(p, cold_cfg);
+  const auto upgraded = service.solve(p, 40);
+  ASSERT_TRUE(upgraded.ok) << upgraded.error;
+  EXPECT_EQ(upgraded.outcome, CacheOutcome::kMiss);
+  expect_same_report(upgraded.report, cold, "shared-cell fallback");
+  const auto s = service.stats();
+  EXPECT_EQ(s.refine_fallbacks, 1u);
+  EXPECT_EQ(s.hits_refined, 0u);
+}
+
+// --- service: eviction, cache-off, invalid input ----------------------------
+
+TEST(Service, ForcedEvictionsRecomputeAndStayIdentical) {
+  ServiceConfig cfg = config_for(2, 35);
+  cfg.cache_capacity = 2;
+  cfg.cache_shards = 1;
+  RootService service(cfg);
+  const char* inputs[] = {"x^2 - 2", "x^2 - 3", "x^2 - 5"};
+  for (const char* s : inputs) ASSERT_TRUE(service.submit(s).ok);
+  EXPECT_GE(service.stats().evictions, 1u);
+  // The evicted polynomial recomputes (a miss, same bits as before).
+  RootFinderConfig cold_cfg;
+  cold_cfg.mu_bits = 35;
+  const RootReport cold = find_real_roots(Poly::parse("x^2 - 2"), cold_cfg);
+  const auto again = service.submit("x^2 - 2");
+  ASSERT_TRUE(again.ok);
+  EXPECT_EQ(again.outcome, CacheOutcome::kMiss);
+  expect_same_report(again.report, cold, "post-eviction recompute");
+  EXPECT_EQ(service.stats().misses, 4u);
+}
+
+TEST(Service, CacheDisabledAlwaysMisses) {
+  ServiceConfig cfg = config_for(1, 35);
+  cfg.cache_enabled = false;
+  RootService service(cfg);
+  for (int i = 0; i < 3; ++i) {
+    const auto r = service.submit("x^2 - 2");
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.outcome, CacheOutcome::kMiss);
+  }
+  const auto s = service.stats();
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.hits_total(), 0u);
+  EXPECT_EQ(s.cache_size, 0u);
+}
+
+TEST(Service, InvalidRequestsDiagnoseWithoutThrowing) {
+  RootService service(config_for(1));
+  const auto bad = service.submit("x^2 + 3* - 1");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("position"), std::string::npos) << bad.error;
+  const auto constant = service.submit("42");
+  EXPECT_FALSE(constant.ok);
+  EXPECT_NE(constant.error.find("non-constant"), std::string::npos);
+  const auto s = service.stats();
+  EXPECT_EQ(s.invalid, 2u);
+  EXPECT_EQ(s.misses, 0u);
+}
+
+// --- service: in-flight dedup -----------------------------------------------
+
+TEST(Service, ConcurrentIdenticalRequestsComputeOnce) {
+  // 8 client threads race the same polynomial; exactly one cold solve
+  // may happen, everyone gets identical bits.  (The TSan job runs this
+  // against the flights table and cache shards.)
+  Prng rng(7);
+  const auto input = paper_input(10, rng);
+  RootService service(config_for(2, 45));
+  constexpr int kClients = 8;
+  std::vector<ServiceResult> results(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+      clients.emplace_back([&, t] { results[static_cast<std::size_t>(t)] =
+                                        service.solve(input.poly, 45); });
+    }
+    for (auto& c : clients) c.join();
+  }
+  RootFinderConfig cold_cfg;
+  cold_cfg.mu_bits = 45;
+  const RootReport cold = find_real_roots(input.poly, cold_cfg);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    expect_same_report(r.report, cold, "racing client");
+  }
+  const auto s = service.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.requests, static_cast<std::uint64_t>(kClients));
+  // Everyone else either joined the flight or hit the fresh cache entry.
+  EXPECT_EQ(s.dedup_waits + s.hits_full, static_cast<std::uint64_t>(kClients - 1));
+}
+
+// --- service: batches -------------------------------------------------------
+
+TEST(Service, BatchReplayMatchesPerCallRuns) {
+  // Mixed workload, >= 50% duplicates (the acceptance replay): results
+  // must be positionally aligned and bit-identical to per-call runs.
+  Prng rng(21);
+  std::vector<std::string> uniques;
+  for (int trial = 0; trial < 4; ++trial) {
+    uniques.push_back(paper_input(5 + trial, rng).poly.to_string());
+  }
+  std::vector<std::string> lines;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& u : uniques) lines.push_back(u);
+  }
+  RootService service(config_for(2, 40));
+  const auto results = service.run_batch(lines);
+  ASSERT_EQ(results.size(), lines.size());
+  RootFinderConfig cold_cfg;
+  cold_cfg.mu_bits = 40;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << lines[i] << ": " << results[i].error;
+    const RootReport cold = find_real_roots(Poly::parse(lines[i]), cold_cfg);
+    expect_same_report(results[i].report, cold, lines[i]);
+    EXPECT_EQ(results[i].deduplicated, i >= uniques.size()) << i;
+  }
+  const auto s = service.stats();
+  EXPECT_EQ(s.misses, uniques.size());
+  EXPECT_EQ(s.batch_dedup, lines.size() - uniques.size());
+  EXPECT_GE(s.batch_runs, 1u);
+  EXPECT_EQ(s.batch_staged, uniques.size());
+}
+
+TEST(Service, BatchSplitsIntoWidthChunksAndRepeatsHit) {
+  ServiceConfig cfg = config_for(4, 35);
+  cfg.max_batch_width = 2;
+  RootService service(cfg);
+  const std::vector<std::string> lines = {"x^2 - 2", "x^2 - 3", "x^2 - 5",
+                                          "x^3 - 6x^2 + 11x - 6", "x^2 - 7"};
+  const auto first = service.run_batch(lines);
+  for (const auto& r : first) ASSERT_TRUE(r.ok) << r.error;
+  const auto s1 = service.stats();
+  EXPECT_EQ(s1.misses, 5u);
+  EXPECT_EQ(s1.batch_runs, 3u);  // widths 2 + 2 + 1
+  EXPECT_EQ(s1.batch_staged, 5u);
+  // Replay: pure cache, bit-identical.
+  const auto second = service.run_batch(lines);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ASSERT_TRUE(second[i].ok);
+    EXPECT_EQ(second[i].outcome, CacheOutcome::kHitFull);
+    expect_same_report(second[i].report, first[i].report, lines[i]);
+  }
+  EXPECT_EQ(service.stats().misses, 5u);
+}
+
+TEST(Service, BatchHandlesDegenerateAndInvalidLines) {
+  // One line per failure mode the batch path owns: linear inputs bypass
+  // staging, repeated roots demote the shared run to per-request
+  // fallbacks, parse errors carry their line number and position.
+  const std::vector<std::string> lines = {
+      "x^2 - 2",
+      "2x - 3",                                 // linear: direct solve
+      poly_from_integer_roots({2, 2, -1}).to_string(),  // repeated roots
+      "x^2 + 1",                                // non-real: Sturm fallback
+      "3*",                                     // parse error
+      "x^2 - 2",                                // batch duplicate
+  };
+  RootService service(config_for(2, 35));
+  const auto results = service.run_batch(lines);
+  ASSERT_EQ(results.size(), lines.size());
+  RootFinderConfig cold_cfg;
+  cold_cfg.mu_bits = 35;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i == 4) {
+      EXPECT_FALSE(results[i].ok);
+      EXPECT_NE(results[i].error.find("line 5:"), std::string::npos)
+          << results[i].error;
+      EXPECT_NE(results[i].error.find("position"), std::string::npos)
+          << results[i].error;
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok) << lines[i] << ": " << results[i].error;
+    const RootReport cold = find_real_roots(Poly::parse(lines[i]), cold_cfg);
+    expect_same_report(results[i].report, cold, lines[i]);
+  }
+  EXPECT_TRUE(results[5].deduplicated);
+  const auto s = service.stats();
+  EXPECT_EQ(s.invalid, 1u);
+  EXPECT_EQ(s.batch_dedup, 1u);
+  // The repeated-root tree poisoned its shared run: demoted, recovered.
+  EXPECT_GE(s.batch_fallbacks, 1u);
+}
+
+}  // namespace
+}  // namespace pr

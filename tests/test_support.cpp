@@ -92,6 +92,42 @@ TEST(Stopwatch, MeasuresNonNegativeMonotoneTime) {
   EXPECT_GE(sw.millis(), 0.0);
 }
 
+TEST(Text, ParseLongStrictAcceptsWholeIntegers) {
+  long v = -1;
+  EXPECT_TRUE(parse_long_strict("0", -10, 10, v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parse_long_strict("42", 0, 100, v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_long_strict("-7", -10, 10, v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(parse_long_strict("+8", 0, 10, v));
+  EXPECT_EQ(v, 8);
+}
+
+TEST(Text, ParseLongStrictRejectsGarbage) {
+  long v = 1234;
+  // The atoi failure modes this helper exists to close off:
+  EXPECT_FALSE(parse_long_strict("x", 0, 10, v));        // atoi -> 0
+  EXPECT_FALSE(parse_long_strict("12abc", 0, 100, v));   // atoi -> 12
+  EXPECT_FALSE(parse_long_strict("", 0, 10, v));
+  EXPECT_FALSE(parse_long_strict(nullptr, 0, 10, v));
+  EXPECT_FALSE(parse_long_strict(" 3", 0, 10, v));       // strtol skips ws
+  EXPECT_FALSE(parse_long_strict("3 ", 0, 10, v));
+  EXPECT_FALSE(parse_long_strict("1e3", 0, 10000, v));
+  EXPECT_FALSE(parse_long_strict("0x10", 0, 100, v));
+  EXPECT_EQ(v, 1234);  // out is untouched on failure
+}
+
+TEST(Text, ParseLongStrictEnforcesRange) {
+  long v = 0;
+  EXPECT_FALSE(parse_long_strict("11", 0, 10, v));
+  EXPECT_FALSE(parse_long_strict("-1", 0, 10, v));
+  EXPECT_TRUE(parse_long_strict("10", 0, 10, v));
+  // Values past LONG_MAX are overflow, not clamped.
+  EXPECT_FALSE(parse_long_strict("99999999999999999999999999", 0,
+                                 1000000, v));
+}
+
 TEST(Errors, CheckHelpers) {
   EXPECT_NO_THROW(check_internal(true, "ok"));
   EXPECT_THROW(check_internal(false, "bad"), InternalError);

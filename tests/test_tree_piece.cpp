@@ -180,6 +180,52 @@ TEST(PieceMailbox, TakingAMissingMessageThrows) {
   EXPECT_THROW(box.take(3, BoundaryMessage::Phase::kRoots), InternalError);
 }
 
+TEST(PieceMailbox, MissingMessageDiagnosticNamesPieceNodeAndPending) {
+  // A never-posted take is a scheduling bug; its diagnostic must say
+  // which piece's inbox, which node/phase was requested, and what IS
+  // pending, or the failure is undebuggable from the message alone.
+  PieceMailbox box;
+  box.set_piece(5);
+  BoundaryMessage m;
+  m.phase = BoundaryMessage::Phase::kRoots;
+  m.node = 12;
+  m.from_piece = 2;
+  box.post(std::move(m));
+  try {
+    box.take(7, BoundaryMessage::Phase::kPoly);
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("piece 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("node 7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kPoly"), std::string::npos) << msg;
+    // The pending listing names the message that IS there.
+    EXPECT_NE(msg.find("node 12"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kRoots"), std::string::npos) << msg;
+  }
+}
+
+TEST(TreeCanopy, AssertDrainedThrowsOnUndrainedInbox) {
+  TreeCanopy canopy(3);
+  EXPECT_EQ(canopy.pending(), 0u);
+  EXPECT_NO_THROW(canopy.assert_drained());
+  BoundaryMessage m;
+  m.phase = BoundaryMessage::Phase::kPoly;
+  m.node = 4;
+  m.from_piece = 1;
+  canopy.inbox(1).post(std::move(m));
+  EXPECT_EQ(canopy.pending(), 1u);
+  try {
+    canopy.assert_drained();
+    FAIL() << "expected InternalError";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("piece 1"), std::string::npos)
+        << e.what();
+  }
+  canopy.inbox(1).take(4, BoundaryMessage::Phase::kPoly);
+  EXPECT_NO_THROW(canopy.assert_drained());
+}
+
 TEST(PieceMailbox, BoundarySendMovesStateOutOfTheNode) {
   // After send_poly_boundary the node holds nothing (the canopy cannot
   // read half-built state); recv restores it bit-for-bit.
