@@ -39,14 +39,22 @@ expect_cli(2 stderr "invalid value for --pieces" "x^2 - 2" --pieces -3)
 # Out-of-range values are rejected the same way (never clamped).
 expect_cli(2 stderr "invalid value for --threads" "x^2 - 2" --threads 0)
 expect_cli(2 stderr "invalid value for --digits" "x^2 - 2" --digits 0)
+# Strategy names are parsed strictly: only "paper" and "radii" exist.
+expect_cli(2 stderr "invalid value for --finder" "x^2 - 2" --finder fast)
+expect_cli(2 stderr "invalid value for --finder" "x^2 - 2" --finder PAPER)
 # A value flag ending argv is "missing value", not "unknown option".
 expect_cli(2 stderr "missing value for --digits" "x^2 - 2" --digits)
 expect_cli(2 stderr "missing value for --batch" --batch)
+expect_cli(2 stderr "missing value for --finder" "x^2 - 2" --finder)
 # Unknown options and mixed modes still diagnose cleanly.
 expect_cli(2 stderr "unknown option: --bogus" "x^2 - 2" --bogus)
 expect_cli(2 stderr "batch/serve mode" --serve "x^2 - 2")
 # Sanity: a well-formed invocation still succeeds.
 expect_cli(0 stdout "x_0 = " "x^2 - 2" --digits 12 --threads 2)
+# Both finder strategies answer; radii also takes complex-rooted inputs
+# the paper path would push onto the Sturm fallback.
+expect_cli(0 stdout "x_0 = " "x^2 - 2" --finder radii)
+expect_cli(0 stdout "x_0 = " "x^3 - 2" --finder radii --threads 2)
 
 # Batch-mode smoke: duplicates dedup, repeats hit, bad lines diagnose
 # with their line number, and the service summary prints.
@@ -61,4 +69,8 @@ expect_cli(0 stdout "line 4: error: " --batch "${batch_file}")
 # "2x^2 - 4" canonicalizes to "x^2 - 2": batch dedup collapses it too.
 expect_cli(0 stdout "line 5 \\[dedup\\]" --batch "${batch_file}")
 expect_cli(0 stdout "service: requests 5" --batch "${batch_file}" --stats)
+# --finder threads through batch and serve modes (strategy-tagged
+# requests; the radii path bypasses the shared tree staging).
+expect_cli(0 stdout "line 1 \\[miss\\]" --batch "${batch_file}"
+           --finder radii --threads 2)
 file(REMOVE "${batch_file}")

@@ -48,6 +48,9 @@ void usage() {
       "                (--parallel T is accepted as an alias)\n"
       "  --pieces P    shard the tree into P TreePieces (0 = one per\n"
       "                thread; implies the parallel driver)\n"
+      "  --finder F    isolation pipeline: \"paper\" (interleaving tree,\n"
+      "                default) or \"radii\" (root-radii + Descartes + QIR;\n"
+      "                accepts square-free inputs with complex roots)\n"
       "  --batch FILE  serve every request line of FILE (\"-\" = stdin)\n"
       "                through the batching RootService\n"
       "  --serve       read request lines from stdin, answer each\n"
@@ -61,6 +64,7 @@ void usage() {
       "  example_polyroots_cli \"x^3 - 6x^2 + 11x - 6\" --digits 40 --exact\n"
       "  example_polyroots_cli \"x^4 - 10x^2 + 1\" --threads 4 --pieces 4 "
       "--stats\n"
+      "  example_polyroots_cli \"x^3 - 2\" --finder radii\n"
       "  example_polyroots_cli --batch requests.txt --threads 4 --stats\n";
 }
 
@@ -86,6 +90,16 @@ const char* option_arg(const char* flag, int argc, char** argv, int& i) {
     std::exit(2);
   }
   return argv[++i];
+}
+
+/// Strict strategy parsing: only the two strategy names are accepted;
+/// anything else is a usage error (exit 2) naming the flag.
+pr::FinderStrategy finder_value(const char* value) {
+  if (std::strcmp(value, "paper") == 0) return pr::FinderStrategy::kPaper;
+  if (std::strcmp(value, "radii") == 0) return pr::FinderStrategy::kRadii;
+  std::cerr << "invalid value for --finder: \"" << value
+            << "\" (expected \"paper\" or \"radii\")\n";
+  std::exit(2);
 }
 
 const char* outcome_name(const pr::service::ServiceResult& r) {
@@ -161,6 +175,7 @@ int main(int argc, char** argv) {
   const char* batch_file = nullptr;
   int threads = 0;
   int pieces = -1;  // -1 = flag absent
+  pr::FinderStrategy finder = pr::FinderStrategy::kPaper;
   const char* poly_text = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -175,6 +190,8 @@ int main(int argc, char** argv) {
       serve = true;
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       no_cache = true;
+    } else if (std::strcmp(argv[i], "--finder") == 0) {
+      finder = finder_value(option_arg("--finder", argc, argv, i));
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch_file = option_arg("--batch", argc, argv, i);
     } else if (std::strcmp(argv[i], "--parallel") == 0 ||
@@ -202,6 +219,7 @@ int main(int argc, char** argv) {
   pr::RootFinderConfig cfg;
   cfg.mu_bits = static_cast<std::size_t>(
       std::ceil(digits * std::log2(10.0))) + 4;
+  cfg.strategy = finder;
 
   // ---- service-backed batch / serve modes -------------------------------
   if (serve || batch_file != nullptr) {

@@ -10,6 +10,7 @@
 #include "core/tree_builder.hpp"
 #include "core/tree_piece.hpp"
 #include "instr/phase.hpp"
+#include "isolate/isolate.hpp"
 #include "modular/modular_combine.hpp"
 #include "modular/modular_prs.hpp"
 #include "modular/ntt.hpp"
@@ -875,6 +876,9 @@ ParallelRunResult find_real_roots_parallel(const Poly& p,
   check_arg(p.degree() >= 1, "find_real_roots_parallel: degree >= 1");
   check_arg(parallel.grain_chunk >= 1,
             "find_real_roots_parallel: grain_chunk >= 1");
+  if (config.strategy == FinderStrategy::kRadii) {
+    return isolate::find_real_roots_radii_parallel(p, config, parallel);
+  }
   ParallelRunResult out;
 
   if (p.primitive_part().degree() == 1) {

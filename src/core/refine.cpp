@@ -12,13 +12,23 @@ BigInt refine_root(const Poly& p, const BigInt& k, std::size_t mu_from,
   check_arg(mu_to >= mu_from, "refine_root: mu_to must be >= mu_from");
   check_arg(p.degree() >= 1, "refine_root: non-constant polynomial required");
   const std::size_t d = mu_to - mu_from;
+  // Degenerate widths return before any endpoint is materialized: a
+  // width-0 refinement is the identity, and a linear polynomial's root is
+  // a single exact ceiling division (no bracketing needed -- the generic
+  // path below would reject a cell whose open end touches the root).
+  if (d == 0) return k;
+  if (p.degree() == 1) {
+    BigInt r = BigInt::cdiv(-(p.coeff(0) << mu_to), p.coeff(1));
+    BigInt cell = BigInt::cdiv(r, BigInt::pow2(d));
+    check_arg(cell == k, "refine_root: cell does not isolate a single root");
+    return r;
+  }
   // Build both endpoints in place (one buffer each, no expression temps).
   BigInt lo = k;
   lo -= BigInt(1);
   lo <<= d;
   BigInt hi = k;
   hi <<= d;
-  if (d == 0) return k;
 
   // Exact hit at the cell's right end?
   const int s_hi = p.sign_at_scaled(hi, mu_to);

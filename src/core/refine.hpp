@@ -14,6 +14,9 @@ namespace pr {
 /// Preconditions (checked where cheap): mu_to >= mu_from; the cell
 /// contains exactly one root.  A cell with zero or two roots surfaces as
 /// an InvalidArgument (no sign change) rather than a wrong answer.
+/// Degenerate cases return immediately: mu_to == mu_from is the identity,
+/// and a degree-1 input is answered by one exact ceiling division (with
+/// the cell-containment check preserved).
 BigInt refine_root(const Poly& p, const BigInt& k, std::size_t mu_from,
                    std::size_t mu_to,
                    const IntervalSolverConfig& config = {},

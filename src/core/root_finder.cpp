@@ -5,6 +5,7 @@
 #include "baseline/sturm_finder.hpp"
 #include "core/scaled_point.hpp"
 #include "core/tree.hpp"
+#include "isolate/isolate.hpp"
 #include "core/tree_builder.hpp"
 #include "modular/modular_prs.hpp"
 #include "poly/bounds.hpp"
@@ -19,12 +20,8 @@ double RootReport::root_as_double(std::size_t i) const {
   return scaled_to_double(roots.at(i), mu);
 }
 
-namespace {
+namespace detail {
 
-/// Assigns a multiplicity to each computed root by locating it within the
-/// squarefree factors.  Each root's cell ((k-1)/2^mu, k/2^mu] is tested
-/// against every factor; when several roots share a cell the factor counts
-/// are consumed in order.
 std::vector<unsigned> assign_multiplicities(
     const std::vector<BigInt>& roots, std::size_t mu,
     const std::vector<SquarefreeFactor>& factors) {
@@ -61,6 +58,10 @@ std::vector<unsigned> assign_multiplicities(
   return mult;
 }
 
+}  // namespace detail
+
+namespace {
+
 void validate_roots(const Poly& squarefree, const std::vector<BigInt>& roots,
                     std::size_t mu) {
   SturmChain chain(squarefree);
@@ -87,6 +88,9 @@ void validate_roots(const Poly& squarefree, const std::vector<BigInt>& roots,
 
 RootReport RealRootFinder::find(const Poly& p) const {
   check_arg(p.degree() >= 1, "RealRootFinder: degree must be >= 1");
+  if (config_.strategy == FinderStrategy::kRadii) {
+    return isolate::find_real_roots_radii(p, config_);
+  }
   RootReport report;
   report.mu = config_.mu_bits;
   report.degree = p.degree();
@@ -175,7 +179,7 @@ RootReport RealRootFinder::find(const Poly& p) const {
 
   if (reduced) {
     report.multiplicities =
-        assign_multiplicities(report.roots, config_.mu_bits, factors);
+        detail::assign_multiplicities(report.roots, config_.mu_bits, factors);
   } else {
     report.multiplicities.assign(report.roots.size(), 1);
   }

@@ -12,16 +12,25 @@
 #include <vector>
 
 #include "core/interval_solver.hpp"
+#include "isolate/isolate_config.hpp"
 #include "modular/modular_config.hpp"
 #include "poly/poly.hpp"
+#include "poly/squarefree.hpp"
 
 namespace pr {
 
 struct RootFinderConfig {
   /// Output precision: roots are reported as ceil(2^mu x) at scale mu.
   std::size_t mu_bits = 53;
+  /// Which isolation pipeline runs: the paper's interleaving tree
+  /// (default) or the root-radii + Descartes + QIR subsystem
+  /// (src/isolate/), which also accepts square-free inputs with complex
+  /// roots.  Mu-approximations are bit-identical where both apply.
+  FinderStrategy strategy = FinderStrategy::kPaper;
   /// Interval-problem solver settings (hybrid by default).
   IntervalSolverConfig solver;
+  /// Settings for the kRadii strategy (ignored by kPaper).
+  isolate::IsolateConfig isolate;
   /// If the remainder sequence is not normal, silently use the Sturm
   /// baseline instead of throwing NonNormalSequence.
   bool allow_sturm_fallback = true;
@@ -71,4 +80,15 @@ class RealRootFinder {
 /// One-call convenience wrapper.
 RootReport find_real_roots(const Poly& p, RootFinderConfig config = {});
 
+namespace detail {
+
+/// Assigns a multiplicity to each computed root by locating it within the
+/// squarefree factors.  Each root's cell ((k-1)/2^mu, k/2^mu] is tested
+/// against every factor; when several roots share a cell the factor counts
+/// are consumed in order.  Shared by the finder strategies.
+std::vector<unsigned> assign_multiplicities(
+    const std::vector<BigInt>& roots, std::size_t mu,
+    const std::vector<SquarefreeFactor>& factors);
+
+}  // namespace detail
 }  // namespace pr

@@ -1,0 +1,63 @@
+#include "gen/hard_polys.hpp"
+
+#include <set>
+#include <vector>
+
+#include "poly/squarefree.hpp"
+#include "support/error.hpp"
+
+namespace pr {
+
+Poly mignotte(int n, long long a) {
+  check_arg(n >= 3, "mignotte: n >= 3");
+  check_arg(a >= 2, "mignotte: a >= 2");
+  // x^n - 2 a^2 x^2 + 4 a x - 2.
+  const BigInt ba(a);
+  Poly p = Poly::monomial(BigInt(1), static_cast<std::size_t>(n));
+  p -= Poly::monomial(ba * ba * BigInt(2), 2);
+  p += Poly::monomial(ba * BigInt(4), 1);
+  p -= Poly::constant(BigInt(2));
+  return p;
+}
+
+Poly clustered_squarefree(int count, int gap_bits, long long center,
+                          Prng& rng) {
+  check_arg(count >= 1, "clustered_squarefree: count >= 1");
+  check_arg(gap_bits >= 0 && gap_bits <= 512,
+            "clustered_squarefree: gap_bits in [0, 512]");
+  std::set<std::uint64_t> offsets;
+  while (static_cast<int>(offsets.size()) < count) {
+    offsets.insert(rng.below(4ULL * static_cast<std::uint64_t>(count)));
+  }
+  // prod_j (2^g x - (center 2^g + j)): roots center + j / 2^g.
+  const BigInt scale = BigInt::pow2(static_cast<std::size_t>(gap_bits));
+  Poly p{1};
+  for (std::uint64_t j : offsets) {
+    std::vector<BigInt> lin(2);
+    lin[0] = -(BigInt(center) * scale + BigInt(static_cast<long long>(j)));
+    lin[1] = scale;
+    p *= Poly(std::move(lin));
+  }
+  return p;
+}
+
+Poly random_squarefree_poly(int degree, int coeff_bits, Prng& rng) {
+  check_arg(degree >= 1, "random_squarefree_poly: degree >= 1");
+  check_arg(coeff_bits >= 1 && coeff_bits <= 62,
+            "random_squarefree_poly: coeff_bits in [1, 62]");
+  const long long bound = 1LL << coeff_bits;
+  while (true) {
+    std::vector<BigInt> coeffs(static_cast<std::size_t>(degree) + 1);
+    for (int i = 0; i <= degree; ++i) {
+      coeffs[static_cast<std::size_t>(i)] = BigInt(rng.range(-bound, bound));
+    }
+    while (coeffs.back().is_zero()) coeffs.back() = BigInt(rng.range(-bound, bound));
+    Poly p(std::move(coeffs));
+    // A random integer polynomial is squarefree with probability ~ 1
+    // (resultant(p, p') = 0 is a codimension-1 event), so this loop
+    // almost never iterates twice.
+    if (poly_gcd(p, p.derivative()).degree() == 0) return p;
+  }
+}
+
+}  // namespace pr

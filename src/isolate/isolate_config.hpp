@@ -1,0 +1,64 @@
+// Configuration for the root-isolation subsystem (src/isolate/).
+//
+// This header is deliberately dependency-free so that RootFinderConfig can
+// embed the strategy selection without pulling the isolation machinery into
+// every translation unit that names the finder.
+#pragma once
+
+#include <cstddef>
+
+namespace pr {
+
+/// Which isolation pipeline a RealRootFinder runs.
+enum class FinderStrategy {
+  /// The paper's interleaving-tree algorithm (all-real-rooted inputs;
+  /// non-real roots take the Sturm fallback or throw).
+  kPaper,
+  /// Root-radii preconditioning (Dandelin-Graeffe + exact Pellet tests)
+  /// followed by Descartes subdivision inside the surviving annuli and
+  /// quadratic (QIR) refinement.  Handles any square-free real input,
+  /// including ones with complex roots; bit-identical mu-approximations
+  /// to the paper path where both apply.
+  kRadii,
+};
+
+/// Name for diagnostics and CLI parsing ("paper" / "radii").
+const char* finder_strategy_name(FinderStrategy s);
+
+namespace isolate {
+
+/// Root-radii estimator settings (Dandelin-Graeffe + Pellet).
+struct RadiiConfig {
+  /// Number of Graeffe root-squaring iterations N.  Radii of the iterate
+  /// are the 2^N-th powers of the input's; every certified dyadic split
+  /// radius 2^e of the iterate maps back to 2^(e / 2^N), so larger N gives
+  /// finer annulus resolution at the cost of coefficient bit-length
+  /// doubling per iteration.  Clamped to [0, 12].
+  int graeffe_iters = 4;
+  /// Fractional bits kept when the 2^N-th roots of the certified radii are
+  /// rounded outward to dyadic annulus endpoints.
+  std::size_t guard_bits = 4;
+  /// Exact Pellet tests attempted per Newton-polygon corner before the
+  /// corner's split radius is given up (adjacent annuli then merge).
+  int pellet_tries = 8;
+};
+
+/// Quadratic interval refinement (QIR) settings, after Abbott and
+/// Kerber-Sagraloff (arXiv:1104.1362).
+struct QirConfig {
+  /// Extra working-scale bits beyond the target precision.
+  std::size_t guard_bits = 8;
+  /// log2 of the initial subdivision count N (N = 4 by default).
+  std::size_t initial_subdiv_log2 = 2;
+  /// Cap on log2 N; successful steps square N (double log2 N) up to this.
+  std::size_t max_subdiv_log2 = 64;
+};
+
+/// Bundled configuration for the kRadii strategy.
+struct IsolateConfig {
+  RadiiConfig radii;
+  QirConfig qir;
+};
+
+}  // namespace isolate
+}  // namespace pr

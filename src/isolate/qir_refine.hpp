@@ -1,0 +1,57 @@
+// Quadratic interval refinement (QIR), after Abbott and the certified
+// variant of Kerber-Sagraloff (arXiv:1104.1362).
+//
+// Refines an isolating interval by secant prediction against a subdivision
+// grid: the bracket (a, b) is split into N equal parts, the secant through
+// (a, f(a)) and (b, f(b)) predicts the grid cell holding the root, and two
+// sign evaluations check the prediction.  On success the bracket shrinks by
+// a factor of N and N is squared (log2 N doubles -- this is what makes the
+// iteration quadratically convergent once the secant model is accurate); on
+// failure the sign information still shrinks the bracket, N falls back to
+// sqrt(N), and a guaranteed bisection step keeps worst-case progress linear.
+// Every step is certified by exact sign evaluations at dyadic points, so
+// the bracket invariant (sign change across it) never depends on the
+// convergence theory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bigint/bigint.hpp"
+#include "isolate/isolate_config.hpp"
+#include "poly/poly.hpp"
+
+namespace pr::isolate {
+
+/// Iteration counters; `max_subdiv_log2` reaching ~2x its starting value
+/// per doubling step is the observable signature of quadratic convergence
+/// (logged by bench_isolate).
+struct QirStats {
+  std::uint64_t iters = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t successes = 0;       ///< secant prediction confirmed
+  std::uint64_t failures = 0;        ///< prediction missed; N demoted
+  std::uint64_t bisect_steps = 0;    ///< guaranteed-progress bisections
+  std::uint64_t max_subdiv_log2 = 0; ///< largest log2 N a success used
+
+  QirStats& operator+=(const QirStats& o);
+};
+
+/// Computes ceil(2^mu x) for the unique root x of p in the open interval
+/// (lo/2^w, hi/2^w).  Preconditions: lo < hi; s_lo/s_hi are the (one-sided)
+/// signs of p at the endpoints with s_lo * s_hi == -1.  Exact analogue of
+/// solve_isolated_interval with the QIR iteration instead of the paper's
+/// three-phase hybrid.  `stats` may be null.
+BigInt qir_solve(const Poly& p, const BigInt& lo, const BigInt& hi, int s_lo,
+                 int s_hi, std::size_t w, std::size_t mu,
+                 const QirConfig& config, QirStats* stats);
+
+/// Drop-in alternative to refine_root: given the mu_from-approximation
+/// k = ceil(2^mu_from x) of a root x of p, returns ceil(2^mu_to x)
+/// (mu_to >= mu_from) by QIR over the cell ((k-1)/2^mu_from, k/2^mu_from].
+/// Throws InvalidArgument if the cell does not isolate a single root.
+BigInt refine_root_qir(const Poly& p, const BigInt& k, std::size_t mu_from,
+                       std::size_t mu_to, const QirConfig& config = {},
+                       QirStats* stats = nullptr);
+
+}  // namespace pr::isolate

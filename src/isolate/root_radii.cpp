@@ -1,0 +1,274 @@
+#include "isolate/root_radii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace pr::isolate {
+
+namespace {
+
+using std::int64_t;
+
+/// ceil(log2(n)) for n >= 1 (term-count slack in the guaranteed bounds).
+int64_t ceil_log2(int64_t n) {
+  int64_t b = 0;
+  while ((int64_t{1} << b) < n) ++b;
+  return b;
+}
+
+/// Exact Pellet test at t = 2^e: |b_k| t^k > sum_{i != k} |b_i| t^i.
+/// Success certifies (Rouche against the b_k x^k term) that q has exactly
+/// k roots with |x| < t and none with |x| = t.  All-shift arithmetic: for
+/// e < 0 every term is scaled by 2^(|e| n), which cancels in the compare.
+bool pellet_at(const Poly& q, int64_t e, int k, int* tests) {
+  *tests += 1;
+  const int n = q.degree();
+  const auto shift_for = [&](int i) -> std::size_t {
+    const int64_t s = e >= 0 ? e * i : (-e) * int64_t{n - i};
+    return static_cast<std::size_t>(s);
+  };
+  BigInt lhs = q.coeff(static_cast<std::size_t>(k)).abs()
+               << shift_for(k);
+  BigInt rhs;
+  for (int i = 0; i <= n; ++i) {
+    if (i == k) continue;
+    const BigInt& c = q.coeff(static_cast<std::size_t>(i));
+    if (c.is_zero()) continue;
+    rhs += c.abs() << shift_for(i);
+  }
+  return lhs > rhs;
+}
+
+struct HullPoint {
+  int i = 0;
+  int64_t bits = 0;  // bit length of |b_i| (log2 within 1)
+};
+
+/// Upper convex hull of the (i, bitlen) points of q's non-zero
+/// coefficients, left to right.  Slopes are strictly decreasing.
+std::vector<HullPoint> newton_hull(const Poly& q) {
+  std::vector<HullPoint> hull;
+  for (int i = 0; i <= q.degree(); ++i) {
+    const BigInt& c = q.coeff(static_cast<std::size_t>(i));
+    if (c.is_zero()) continue;
+    HullPoint pt{i, static_cast<int64_t>(c.bit_length())};
+    while (hull.size() >= 2) {
+      const HullPoint& a = hull[hull.size() - 2];
+      const HullPoint& b = hull[hull.size() - 1];
+      // Pop b unless it is strictly above the a--pt chord:
+      // (b.bits - a.bits) * (pt.i - a.i) > (pt.bits - a.bits) * (b.i - a.i)
+      const __int128 lhs =
+          static_cast<__int128>(b.bits - a.bits) * (pt.i - a.i);
+      const __int128 rhs =
+          static_cast<__int128>(pt.bits - a.bits) * (b.i - a.i);
+      if (lhs > rhs) break;
+      hull.pop_back();
+    }
+    hull.push_back(pt);
+  }
+  return hull;
+}
+
+struct Split {
+  int64_t e = 0;  ///< certified radius 2^e (of the Graeffe iterate)
+  int k = 0;      ///< exactly k roots strictly inside, none on the circle
+};
+
+}  // namespace
+
+BigInt isqrt_floor(const BigInt& x) {
+  check_arg(x.signum() >= 0, "isqrt_floor: negative input");
+  if (x.is_zero()) return BigInt(0);
+  // Newton from above: y_{j+1} = (y_j + x / y_j) / 2 decreases to
+  // floor(sqrt(x)) and stops exactly there.
+  BigInt y = BigInt::pow2((x.bit_length() + 1) / 2);
+  while (true) {
+    BigInt next = (y + x / y) >> 1;
+    if (!(next < y)) return y;
+    y = std::move(next);
+  }
+}
+
+Poly graeffe_iteration(const Poly& p) {
+  check_arg(p.degree() >= 1, "graeffe_iteration: degree >= 1 required");
+  const int n = p.degree();
+  std::vector<BigInt> even, odd;
+  even.reserve(static_cast<std::size_t>(n) / 2 + 1);
+  odd.reserve(static_cast<std::size_t>(n) / 2 + 1);
+  for (int i = 0; i <= n; ++i) {
+    const BigInt& c = p.coeff(static_cast<std::size_t>(i));
+    (i % 2 == 0 ? even : odd).push_back(c);
+  }
+  const Poly e(std::move(even));
+  const Poly o(std::move(odd));
+  // q(y) = +-(E(y)^2 - y O(y)^2) satisfies q(x^2) = (-1)^n p(x) p(-x): the
+  // roots of q are the squares of the roots of p.  The sign keeps the
+  // leading coefficient (lc(p)^2) positive.
+  Poly q = e * e;
+  q -= (o * o).shifted_up(1);
+  if (n % 2 != 0) q = -q;
+  return q;
+}
+
+RootRadiiResult estimate_root_radii(const Poly& p, const RadiiConfig& config) {
+  check_arg(p.degree() >= 1, "estimate_root_radii: degree >= 1 required");
+  check_arg(!p.coeff(0).is_zero(),
+            "estimate_root_radii: p(0) must be non-zero "
+            "(strip zero roots first)");
+  RootRadiiResult out;
+  const int iters = std::clamp(config.graeffe_iters, 0, 12);
+  out.graeffe_iters = iters;
+  out.guard_bits = config.guard_bits;
+
+  Poly q = p;
+  for (int j = 0; j < iters; ++j) q = graeffe_iteration(q);
+  const int n = q.degree();
+  check_internal(n == p.degree(), "estimate_root_radii: degree drifted");
+
+  const auto hull = newton_hull(q);
+  const std::size_t m = hull.size() - 1;  // segment count (>= 1)
+  const int64_t slack = 2 + ceil_log2(n + 1);
+  const int tries = std::max(1, config.pellet_tries);
+
+  // Negated hull slope around segment j, as a double: the e-window where
+  // the corner between segments j-1 and j dominates is
+  // (-slope(j-1), -slope(j)).  Doubles only steer candidate selection;
+  // certification is the exact Pellet test.
+  const auto neg_slope = [&](std::size_t j) {
+    const HullPoint& a = hull[j];
+    const HullPoint& b = hull[j + 1];
+    return -static_cast<double>(b.bits - a.bits) /
+           static_cast<double>(b.i - a.i);
+  };
+
+  std::vector<Split> splits;
+
+  // Inner boundary (k = 0): guaranteed to certify once t is small enough
+  // that the constant term dominates; try near the polygon window first.
+  {
+    int64_t guaranteed = 0;
+    bool have = false;
+    for (std::size_t i = 1; i <= static_cast<std::size_t>(n); ++i) {
+      const BigInt& c = q.coeff(i);
+      if (c.is_zero()) continue;
+      const int64_t l0 = static_cast<int64_t>(q.coeff(0).bit_length());
+      const int64_t li = static_cast<int64_t>(c.bit_length());
+      // e <= (l0 - li - slack) / i, floored toward -infinity.
+      const int64_t num = l0 - li - slack;
+      const int64_t den = static_cast<int64_t>(i);
+      int64_t bound = num / den;
+      if (num % den != 0 && num < 0) bound -= 1;
+      if (!have || bound < guaranteed) guaranteed = bound;
+      have = true;
+    }
+    int64_t e = static_cast<int64_t>(std::floor(neg_slope(0)));
+    bool ok = false;
+    for (int t = 0; t < tries; ++t, --e) {
+      if (pellet_at(q, e, 0, &out.pellet_tests)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      e = std::min(e, guaranteed);
+      check_internal(pellet_at(q, e, 0, &out.pellet_tests),
+                     "estimate_root_radii: inner Pellet bound failed");
+    }
+    splits.push_back({e, 0});
+    out.certified_splits += 1;
+  }
+
+  // Interior Newton-polygon corners: each certified corner splits the root
+  // moduli; failures simply merge the adjacent annuli.
+  for (std::size_t j = 1; j < m; ++j) {
+    out.polygon_corners += 1;
+    const int k = hull[j].i;
+    const double wlo = neg_slope(j - 1);
+    const double whi = neg_slope(j);
+    const int64_t mid = static_cast<int64_t>(std::floor((wlo + whi) / 2.0));
+    for (int t = 0; t < tries; ++t) {
+      // mid, mid+1, mid-1, mid+2, ... spiral around the window centre.
+      const int64_t off = (t + 1) / 2;
+      const int64_t e = mid + ((t % 2 != 0) ? off : -off);
+      if (pellet_at(q, e, k, &out.pellet_tests)) {
+        splits.push_back({e, k});
+        out.certified_splits += 1;
+        break;
+      }
+    }
+  }
+
+  // Outer boundary (k = n): guaranteed once t clears the Cauchy-style
+  // bound derived from the coefficient bit lengths.
+  {
+    int64_t guaranteed = 0;
+    bool have = false;
+    const int64_t ln = static_cast<int64_t>(q.leading().bit_length());
+    for (int i = 0; i < n; ++i) {
+      const BigInt& c = q.coeff(static_cast<std::size_t>(i));
+      if (c.is_zero()) continue;
+      const int64_t li = static_cast<int64_t>(c.bit_length());
+      // e >= (li - ln + slack) / (n - i), ceiled toward +infinity.
+      const int64_t num = li - ln + slack;
+      const int64_t den = int64_t{n - i};
+      int64_t bound = num / den;
+      if (num % den != 0 && num > 0) bound += 1;
+      if (!have || bound > guaranteed) guaranteed = bound;
+      have = true;
+    }
+    int64_t e = static_cast<int64_t>(std::ceil(neg_slope(m - 1)));
+    bool ok = false;
+    for (int t = 0; t < tries; ++t, ++e) {
+      if (pellet_at(q, e, n, &out.pellet_tests)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      e = std::max(e, guaranteed);
+      check_internal(pellet_at(q, e, n, &out.pellet_tests),
+                     "estimate_root_radii: outer Pellet bound failed");
+    }
+    splits.push_back({e, n});
+    out.certified_splits += 1;
+  }
+
+  std::sort(splits.begin(), splits.end(),
+            [](const Split& a, const Split& b) { return a.e < b.e; });
+  // Two successful tests at the same radius certify the same count; the
+  // counts must be nondecreasing in the radius (they count the same roots).
+  for (std::size_t i = 1; i < splits.size(); ++i) {
+    check_internal(splits[i].k >= splits[i - 1].k &&
+                       (splits[i].e > splits[i - 1].e ||
+                        splits[i].k == splits[i - 1].k),
+                   "estimate_root_radii: inconsistent Pellet counts");
+  }
+
+  // Outward-rounded dyadic 2^N-th root: floor(2^(g + e/2^N)) at guard
+  // scale g via N nested floor-square-roots (floor(x^(1/2^N)) is exactly
+  // the N-fold nested floor-sqrt).
+  const int64_t pow = int64_t{1} << iters;
+  const auto dyadic_floor = [&](int64_t e) {
+    const int64_t exp2 = e + static_cast<int64_t>(config.guard_bits) * pow;
+    if (exp2 < 0) return BigInt(0);
+    BigInt v = BigInt::pow2(static_cast<std::size_t>(exp2));
+    for (int j = 0; j < iters; ++j) v = isqrt_floor(v);
+    return v;
+  };
+
+  for (std::size_t i = 1; i < splits.size(); ++i) {
+    const int d = splits[i].k - splits[i - 1].k;
+    if (d == 0) continue;
+    Annulus a;
+    a.inner = dyadic_floor(splits[i - 1].e);
+    a.outer = dyadic_floor(splits[i].e) + BigInt(1);
+    a.count = d;
+    out.annuli.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace pr::isolate

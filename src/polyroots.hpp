@@ -35,7 +35,10 @@
 #include "core/tree_builder.hpp"              // IWYU pragma: export
 #include "core/tree_piece.hpp"                // IWYU pragma: export
 #include "gen/classic_polys.hpp"              // IWYU pragma: export
+#include "gen/hard_polys.hpp"                 // IWYU pragma: export
 #include "gen/matrix_polys.hpp"               // IWYU pragma: export
+#include "isolate/isolate.hpp"                // IWYU pragma: export
+#include "isolate/root_radii.hpp"             // IWYU pragma: export
 #include "instr/counters.hpp"                 // IWYU pragma: export
 #include "instr/phase.hpp"                    // IWYU pragma: export
 #include "instr/sched_stats.hpp"              // IWYU pragma: export
@@ -66,6 +69,7 @@
 #include "sim/des.hpp"                        // IWYU pragma: export
 #include "support/error.hpp"                  // IWYU pragma: export
 #include "verify/certificate.hpp"             // IWYU pragma: export
+#include "verify/isolate_certificate.hpp"     // IWYU pragma: export
 #include "support/prng.hpp"                   // IWYU pragma: export
 #include "support/stopwatch.hpp"              // IWYU pragma: export
 #include "support/text.hpp"                   // IWYU pragma: export

@@ -29,6 +29,7 @@ const char* task_kind_name(TaskKind k) {
     case TaskKind::kModPublish: return "modpublish";
     case TaskKind::kPieceSend: return "piecesend";
     case TaskKind::kPieceRecv: return "piecerecv";
+    case TaskKind::kRefine: return "refine";
     case TaskKind::kGeneric: return "generic";
   }
   return "?";

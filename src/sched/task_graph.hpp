@@ -42,6 +42,7 @@ enum class TaskKind : std::uint8_t {
   kModPublish,   ///< finalize a multimodular result (or fall back to exact)
   kPieceSend,    ///< package a TreePiece boundary result into a message
   kPieceRecv,    ///< install a boundary message into the canopy's view
+  kRefine,       ///< refine one isolating cell (kRadii finder strategy)
   kGeneric,
 };
 

@@ -31,7 +31,13 @@ std::uint64_t canonical_poly_hash(const Poly& p) {
   return h;
 }
 
-CanonicalRequest canonicalize(const Poly& p, std::size_t mu_bits) {
+std::uint64_t canonical_request_hash(const Poly& p, FinderStrategy strategy) {
+  return mix(canonical_poly_hash(p) ^
+             (0x73747261ull + static_cast<std::uint64_t>(strategy)));
+}
+
+CanonicalRequest canonicalize(const Poly& p, std::size_t mu_bits,
+                              FinderStrategy strategy) {
   if (p.degree() < 1) {
     throw InvalidArgument(
         "RootService: polynomial must be non-constant (got \"" +
@@ -42,15 +48,17 @@ CanonicalRequest canonicalize(const Poly& p, std::size_t mu_bits) {
   req.content = p.content();
   req.canonical = p.primitive_part();  // positive leading coeff by contract
   req.mu_bits = mu_bits;
-  req.hash = canonical_poly_hash(req.canonical);
+  req.strategy = strategy;
+  req.hash = canonical_request_hash(req.canonical, strategy);
   return req;
 }
 
-CanonicalRequest parse_request(std::string_view text, std::size_t mu_bits) {
+CanonicalRequest parse_request(std::string_view text, std::size_t mu_bits,
+                               FinderStrategy strategy) {
   // Poly::parse already rejects empty/whitespace-only input and malformed
   // terms with a position diagnostic; canonicalize() adds the degree
   // check.  Both throw InvalidArgument, the one error type callers see.
-  return canonicalize(Poly::parse(text), mu_bits);
+  return canonicalize(Poly::parse(text), mu_bits, strategy);
 }
 
 }  // namespace pr::service

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "isolate/isolate_config.hpp"
 #include "poly/poly.hpp"
 
 namespace pr::service {
@@ -30,8 +31,14 @@ struct CanonicalRequest {
   bool negated = false;
   /// Requested output precision, ceil(2^mu x) convention.
   std::size_t mu_bits = 0;
-  /// Cache key: canonical_poly_hash(canonical).  Collisions are resolved
-  /// by exact comparison against `canonical`, never trusted blindly.
+  /// Finder strategy the request runs under.  Part of the cache key:
+  /// the strategies accept different input classes (kRadii takes
+  /// square-free inputs with complex roots that kPaper rejects), so a
+  /// result computed under one must never answer for the other.
+  FinderStrategy strategy = FinderStrategy::kPaper;
+  /// Cache key: canonical_request_hash(canonical, strategy).  Collisions
+  /// are resolved by exact comparison against (`canonical`, `strategy`),
+  /// never trusted blindly.
   std::uint64_t hash = 0;
 };
 
@@ -40,15 +47,21 @@ struct CanonicalRequest {
 /// format (limb layout, not decimal digits, is what gets hashed).
 std::uint64_t canonical_poly_hash(const Poly& p);
 
+/// Cache key for a strategy-tagged request: canonical_poly_hash mixed
+/// with the finder strategy.
+std::uint64_t canonical_request_hash(const Poly& p, FinderStrategy strategy);
+
 /// Canonicalizes an already-parsed polynomial.  Throws InvalidArgument if
 /// p is constant (degree < 1): the root finder's contract.
-CanonicalRequest canonicalize(const Poly& p, std::size_t mu_bits);
+CanonicalRequest canonicalize(const Poly& p, std::size_t mu_bits,
+                              FinderStrategy strategy = FinderStrategy::kPaper);
 
 /// Parses one request line and canonicalizes it.  Parse errors propagate
 /// as InvalidArgument carrying the offending position and input text
 /// (Poly::parse's diagnostic); validation failures (constant input) get
 /// the same treatment.  This is the single entry point service requests
 /// go through, so every rejection is diagnosable from the message alone.
-CanonicalRequest parse_request(std::string_view text, std::size_t mu_bits);
+CanonicalRequest parse_request(std::string_view text, std::size_t mu_bits,
+                               FinderStrategy strategy = FinderStrategy::kPaper);
 
 }  // namespace pr::service

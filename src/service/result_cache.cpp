@@ -15,11 +15,13 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards)
 }
 
 std::shared_ptr<const CacheEntry> ResultCache::find(std::uint64_t hash,
-                                                    const Poly& canonical) {
+                                                    const Poly& canonical,
+                                                    FinderStrategy strategy) {
   Shard& sh = shard_for(hash);
   std::lock_guard<std::mutex> lock(sh.mutex);
   for (auto it = sh.lru.begin(); it != sh.lru.end(); ++it) {
-    if (it->hash == hash && it->entry->canonical == canonical) {
+    if (it->hash == hash && it->entry->strategy == strategy &&
+        it->entry->canonical == canonical) {
       sh.lru.splice(sh.lru.begin(), sh.lru, it);  // freshen
       return sh.lru.front().entry;
     }
@@ -33,7 +35,8 @@ void ResultCache::insert(std::uint64_t hash,
   Shard& sh = shard_for(hash);
   std::lock_guard<std::mutex> lock(sh.mutex);
   for (auto it = sh.lru.begin(); it != sh.lru.end(); ++it) {
-    if (it->hash == hash && it->entry->canonical == entry->canonical) {
+    if (it->hash == hash && it->entry->strategy == entry->strategy &&
+        it->entry->canonical == entry->canonical) {
       sh.lru.erase(it);  // replaced below (upgrade / refresh)
       break;
     }

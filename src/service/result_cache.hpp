@@ -40,6 +40,9 @@ struct CacheEntry {
   Poly canonical;     ///< the cache key's exact identity
   Poly refine_poly;   ///< squarefree: what refine_root sharpens
   RootReport report;  ///< cold-path report at precision report.mu
+  /// Strategy the report was computed under; part of the exact identity
+  /// (the strategies accept different input classes).
+  FinderStrategy strategy = FinderStrategy::kPaper;
 };
 
 /// Sharded LRU map: canonical polynomial -> CacheEntry.
@@ -52,8 +55,9 @@ class ResultCache {
   /// Exact lookup; returns the entry (and freshens its LRU position) or
   /// nullptr.  The returned entry is immutable and safe to use without
   /// further synchronization.
-  std::shared_ptr<const CacheEntry> find(std::uint64_t hash,
-                                         const Poly& canonical);
+  std::shared_ptr<const CacheEntry> find(
+      std::uint64_t hash, const Poly& canonical,
+      FinderStrategy strategy = FinderStrategy::kPaper);
 
   /// Publishes `entry` under (hash, entry->canonical), replacing any
   /// existing entry for the same polynomial (the upgrade path) and

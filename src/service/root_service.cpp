@@ -34,6 +34,7 @@ struct RootService::StatsCells {
 struct RootService::Flight {
   Poly canonical;
   std::size_t mu_bits = 0;
+  FinderStrategy strategy = FinderStrategy::kPaper;
   std::promise<ServiceResult> promise;
   std::shared_future<ServiceResult> future;
 };
@@ -52,10 +53,15 @@ ServiceResult RootService::submit(std::string_view text) {
 
 ServiceResult RootService::submit(std::string_view text,
                                   std::size_t mu_bits) {
+  return submit(text, mu_bits, config_.finder.strategy);
+}
+
+ServiceResult RootService::submit(std::string_view text, std::size_t mu_bits,
+                                  FinderStrategy strategy) {
   stats_->requests += 1;
   CanonicalRequest req;
   try {
-    req = parse_request(text, mu_bits);
+    req = parse_request(text, mu_bits, strategy);
   } catch (const Error& e) {
     stats_->invalid += 1;
     ServiceResult out;
@@ -66,10 +72,15 @@ ServiceResult RootService::submit(std::string_view text,
 }
 
 ServiceResult RootService::solve(const Poly& p, std::size_t mu_bits) {
+  return solve(p, mu_bits, config_.finder.strategy);
+}
+
+ServiceResult RootService::solve(const Poly& p, std::size_t mu_bits,
+                                 FinderStrategy strategy) {
   stats_->requests += 1;
   CanonicalRequest req;
   try {
-    req = canonicalize(p, mu_bits);
+    req = canonicalize(p, mu_bits, strategy);
   } catch (const Error& e) {
     stats_->invalid += 1;
     ServiceResult out;
@@ -82,7 +93,7 @@ ServiceResult RootService::solve(const Poly& p, std::size_t mu_bits) {
 ServiceResult RootService::execute(const CanonicalRequest& req) {
   // Fast path: lock-free of the flights table entirely on a usable hit.
   if (config_.cache_enabled) {
-    if (auto entry = cache_->find(req.hash, req.canonical)) {
+    if (auto entry = cache_->find(req.hash, req.canonical, req.strategy)) {
       ServiceResult out;
       if (result_from_entry(entry, req, out)) return out;
     }
@@ -119,13 +130,14 @@ ServiceResult RootService::compute_miss(const CanonicalRequest& req) {
   if (config_.cache_enabled) {
     // Double-check under dedup: a racing winner may have published the
     // entry between our fast-path lookup and winning the flight.
-    if (auto entry = cache_->find(req.hash, req.canonical)) {
+    if (auto entry = cache_->find(req.hash, req.canonical, req.strategy)) {
       ServiceResult out;
       if (result_from_entry(entry, req, out)) return out;
       if (try_refine_upgrade(entry, req, out)) return out;
     }
   }
-  return finalize_cold(req, cold_report(req.canonical, req.mu_bits));
+  return finalize_cold(
+      req, cold_report(req.canonical, req.mu_bits, req.strategy));
 }
 
 bool RootService::result_from_entry(
@@ -191,6 +203,7 @@ bool RootService::try_refine_upgrade(
       next->canonical = entry->canonical;
       next->refine_poly = entry->refine_poly;
       next->report = upgraded;
+      next->strategy = entry->strategy;
       cache_->insert(req.hash, std::move(next));
     }
     out.report = std::move(upgraded);
@@ -221,6 +234,7 @@ ServiceResult RootService::finalize_cold(const CanonicalRequest& req,
             ? squarefree_part(req.canonical)
             : req.canonical;
     entry->report = report;
+    entry->strategy = req.strategy;
     cache_->insert(req.hash, std::move(entry));
   }
   out.report = std::move(report);
@@ -228,9 +242,11 @@ ServiceResult RootService::finalize_cold(const CanonicalRequest& req,
 }
 
 RootReport RootService::cold_report(const Poly& canonical,
-                                    std::size_t mu_bits) {
+                                    std::size_t mu_bits,
+                                    FinderStrategy strategy) {
   RootFinderConfig cfg = config_.finder;
   cfg.mu_bits = mu_bits;
+  cfg.strategy = strategy;
   if (canonical.degree() >= 2 && config_.parallel.num_threads > 1) {
     // Bit-identical to the sequential driver (and it owns the
     // non-normal-sequence fallback policy).
@@ -244,7 +260,7 @@ std::shared_ptr<RootService::Flight> RootService::join_or_create_flight(
   std::lock_guard<std::mutex> lock(flights_mutex_);
   auto& bucket = flights_[req.hash];
   for (const auto& flight : bucket) {
-    if (flight->mu_bits == req.mu_bits &&
+    if (flight->mu_bits == req.mu_bits && flight->strategy == req.strategy &&
         flight->canonical == req.canonical) {
       winner = false;
       return flight;
@@ -253,6 +269,7 @@ std::shared_ptr<RootService::Flight> RootService::join_or_create_flight(
   auto flight = std::make_shared<Flight>();
   flight->canonical = req.canonical;
   flight->mu_bits = req.mu_bits;
+  flight->strategy = req.strategy;
   flight->future = flight->promise.get_future().share();
   bucket.push_back(flight);
   winner = true;
@@ -299,7 +316,7 @@ std::vector<ServiceResult> RootService::run_batch(
     stats_->requests += 1;
     CanonicalRequest req;
     try {
-      req = parse_request(lines[i], mu);
+      req = parse_request(lines[i], mu, config_.finder.strategy);
     } catch (const Error& e) {
       stats_->invalid += 1;
       results[i].error =
@@ -332,7 +349,8 @@ std::vector<ServiceResult> RootService::run_batch(
   std::vector<Unit*> cold;
   for (Unit& u : units) {
     if (config_.cache_enabled) {
-      if (auto entry = cache_->find(u.req.hash, u.req.canonical)) {
+      if (auto entry =
+              cache_->find(u.req.hash, u.req.canonical, u.req.strategy)) {
         if (result_from_entry(entry, u.req, u.result)) continue;
       }
     }
@@ -347,7 +365,8 @@ std::vector<ServiceResult> RootService::run_batch(
     }
     try {
       if (config_.cache_enabled) {
-        if (auto entry = cache_->find(u.req.hash, u.req.canonical)) {
+        if (auto entry =
+                cache_->find(u.req.hash, u.req.canonical, u.req.strategy)) {
           if (result_from_entry(entry, u.req, u.result) ||
               try_refine_upgrade(entry, u.req, u.result)) {
             publish(u);
@@ -355,9 +374,15 @@ std::vector<ServiceResult> RootService::run_batch(
           }
         }
       }
-      if (u.req.canonical.degree() < 2) {
+      if (u.req.canonical.degree() < 2 ||
+          u.req.strategy != FinderStrategy::kPaper) {
         // Linear inputs bypass staging, exactly like the standalone path.
-        u.result = finalize_cold(u.req, cold_report(u.req.canonical, mu));
+        // So do kRadii requests: the shared staging below builds the
+        // paper's tree pipeline, which is the wrong machinery for them
+        // (and would reject their complex-rooted inputs); the radii
+        // parallel driver schedules its own per-cell refinement tasks.
+        u.result = finalize_cold(
+            u.req, cold_report(u.req.canonical, mu, u.req.strategy));
         publish(u);
         continue;
       }
@@ -423,8 +448,8 @@ std::vector<ServiceResult> RootService::run_batch(
       for (std::size_t i = 0; i < count; ++i) {
         Unit& u = *cold[start + i];
         try {
-          u.result =
-              finalize_cold(u.req, cold_report(u.req.canonical, mu));
+          u.result = finalize_cold(
+              u.req, cold_report(u.req.canonical, mu, u.req.strategy));
         } catch (const Error& e) {
           u.result = ServiceResult{};
           u.result.error = e.what();

@@ -110,13 +110,20 @@ class RootService {
   RootService(const RootService&) = delete;
   RootService& operator=(const RootService&) = delete;
 
-  /// One request at the default precision / an explicit precision.
+  /// One request at the default precision / an explicit precision /
+  /// an explicit finder strategy (overriding config().finder.strategy;
+  /// the strategy is part of the cache identity, so requests under
+  /// different strategies never share an entry).
   /// Never throws on bad input: rejections come back as !ok results.
   /// Safe to call from any number of threads concurrently.
   ServiceResult submit(std::string_view text);
   ServiceResult submit(std::string_view text, std::size_t mu_bits);
+  ServiceResult submit(std::string_view text, std::size_t mu_bits,
+                       FinderStrategy strategy);
   /// Pre-parsed entry point (same pipeline minus the parse).
   ServiceResult solve(const Poly& p, std::size_t mu_bits);
+  ServiceResult solve(const Poly& p, std::size_t mu_bits,
+                      FinderStrategy strategy);
 
   /// One request line per element, all at the default precision.
   /// Duplicates inside the batch collapse onto one computation; distinct
@@ -142,7 +149,8 @@ class RootService {
   bool try_refine_upgrade(const std::shared_ptr<const CacheEntry>& entry,
                           const CanonicalRequest& req, ServiceResult& out);
   ServiceResult finalize_cold(const CanonicalRequest& req, RootReport report);
-  RootReport cold_report(const Poly& canonical, std::size_t mu_bits);
+  RootReport cold_report(const Poly& canonical, std::size_t mu_bits,
+                         FinderStrategy strategy);
 
   std::shared_ptr<Flight> join_or_create_flight(const CanonicalRequest& req,
                                                 bool& winner);

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "core/root_finder.hpp"
 #include "gen/classic_polys.hpp"
+#include "gen/hard_polys.hpp"
 #include "gen/matrix_polys.hpp"
 #include "poly/squarefree.hpp"
 #include "poly/sturm.hpp"
@@ -167,6 +170,70 @@ TEST(Gen, PaperInputIsDeterministicPerSeed) {
   EXPECT_EQ(paper_input(10, a).poly, paper_input(10, b).poly);
   Prng c(1234), d(1235);
   EXPECT_FALSE(paper_input(10, c).poly == paper_input(10, d).poly);
+}
+
+// --- hard / general square-free workloads (gen/hard_polys) ------------------
+
+TEST(Gen, MignotteShapeAndSquarefreeness) {
+  // x^n - 2 a^2 x^2 + 4 a x - 2, Eisenstein at 2 (hence squarefree).
+  EXPECT_EQ(mignotte(5, 3), (Poly{-2, 12, -18, 0, 0, 1}));
+  for (int n : {3, 8, 13}) {
+    const Poly p = mignotte(n, 4);
+    EXPECT_EQ(p.degree(), n);
+    EXPECT_EQ(poly_gcd(p, p.derivative()).degree(), 0);
+  }
+  for (int n : {8, 13}) {
+    // Beyond the cubic, most roots are complex: strictly fewer real
+    // roots than the degree (n = 3 has all three real).
+    EXPECT_LT(SturmChain(mignotte(n, 4)).distinct_real_roots(), n);
+  }
+  EXPECT_THROW(mignotte(2, 3), InvalidArgument);
+  EXPECT_THROW(mignotte(5, 1), InvalidArgument);
+}
+
+TEST(Gen, ClusteredSquarefreeIsSeedReproducibleAndAllReal) {
+  Prng a(77), b(77), c(78);
+  const Poly pa = clustered_squarefree(7, 10, -2, a);
+  EXPECT_EQ(pa, clustered_squarefree(7, 10, -2, b));
+  EXPECT_FALSE(pa == clustered_squarefree(7, 10, -2, c));
+  EXPECT_EQ(pa.degree(), 7);
+  EXPECT_EQ(poly_gcd(pa, pa.derivative()).degree(), 0);
+  EXPECT_EQ(SturmChain(pa).distinct_real_roots(), 7);
+}
+
+TEST(Gen, RandomSquarefreePolyProperties) {
+  Prng a(91), b(91);
+  for (int degree : {1, 4, 11}) {
+    const Poly p = random_squarefree_poly(degree, 16, a);
+    EXPECT_EQ(p.degree(), degree);
+    EXPECT_EQ(poly_gcd(p, p.derivative()).degree(), 0);
+    EXPECT_EQ(p, random_squarefree_poly(degree, 16, b));
+  }
+  Prng rng(92);
+  EXPECT_THROW(random_squarefree_poly(0, 16, rng), InvalidArgument);
+  EXPECT_THROW(random_squarefree_poly(4, 0, rng), InvalidArgument);
+}
+
+TEST(Gen, PaperPathRejectsGeneralInputsWithClearDiagnostic) {
+  // The generators deliberately produce inputs outside the paper
+  // algorithm's all-real-roots domain; without the Sturm fallback the
+  // finder must say so, not return a wrong answer.  Mignotte's sparsity
+  // breaks the normal-sequence assumption before the real-root count is
+  // even consulted; a dense complex-rooted input reaches that check.
+  RootFinderConfig strict;
+  strict.allow_sturm_fallback = false;
+  try {
+    find_real_roots(mignotte(9, 3), strict);
+    FAIL() << "expected NonNormalSequence";
+  } catch (const NonNormalSequence& e) {
+    EXPECT_NE(std::string(e.what()).find("not normal"), std::string::npos);
+  }
+  try {
+    find_real_roots(Poly{5, -1, 0, 1}, strict);  // x^3 - x + 5
+    FAIL() << "expected NonNormalSequence";
+  } catch (const NonNormalSequence& e) {
+    EXPECT_NE(std::string(e.what()).find("non-real"), std::string::npos);
+  }
 }
 
 }  // namespace

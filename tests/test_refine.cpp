@@ -77,6 +77,26 @@ TEST(Refine, AdjacentRootOnCellBoundary) {
   EXPECT_EQ(k13, BigInt::pow2(40) + BigInt::pow2(28));
 }
 
+TEST(Refine, DegenerateWidthReturnsImmediately) {
+  // mu_to == mu_from is the identity for every degree, including cells
+  // whose endpoints would not bracket (exact roots, width-0 refinements).
+  const Poly p = poly_from_integer_roots({3, 7});
+  EXPECT_EQ(refine_root(p, BigInt(3) << 4, 4, 4), BigInt(3) << 4);
+  const Poly lin{-3, 2};  // root 3/2
+  EXPECT_EQ(refine_root(lin, BigInt(24), 4, 4), BigInt(24));
+}
+
+TEST(Refine, DegreeOneSolvesByCeilingDivision) {
+  const Poly lin{-3, 2};  // root 3/2: ceil(2^4 * 1.5) = 24
+  EXPECT_EQ(refine_root(lin, BigInt(24), 4, 10), BigInt(3) << 9);
+  // Negative root and a non-dyadic value: 2x + 3, root -3/2.
+  const Poly neg{3, 2};
+  EXPECT_EQ(refine_root(neg, BigInt(-24), 4, 10), BigInt(-3) << 9);
+  // A cell that does not contain the root is rejected, same as degree>=2.
+  EXPECT_THROW(refine_root(lin, BigInt(25), 4, 10), InvalidArgument);
+  EXPECT_THROW(refine_root(lin, BigInt(0), 4, 10), InvalidArgument);
+}
+
 TEST(Refine, WorksWithAllSolverModes) {
   const Poly p = wilkinson(8).derivative();  // irrational roots
   RootFinderConfig cfg;

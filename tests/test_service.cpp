@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -402,6 +403,89 @@ TEST(Service, BatchHandlesDegenerateAndInvalidLines) {
   EXPECT_EQ(s.batch_dedup, 1u);
   // The repeated-root tree poisoned its shared run: demoted, recovered.
   EXPECT_GE(s.batch_fallbacks, 1u);
+}
+
+// --- finder-strategy keying -------------------------------------------------
+
+TEST(Canonical, StrategyParticipatesInTheRequestHash) {
+  const auto paper =
+      service::parse_request("x^2 - 2", 53, FinderStrategy::kPaper);
+  const auto radii =
+      service::parse_request("x^2 - 2", 53, FinderStrategy::kRadii);
+  EXPECT_EQ(paper.canonical, radii.canonical);
+  EXPECT_NE(paper.hash, radii.hash);
+  EXPECT_EQ(paper.hash,
+            service::canonical_request_hash(paper.canonical,
+                                            FinderStrategy::kPaper));
+  EXPECT_EQ(radii.hash,
+            service::canonical_request_hash(radii.canonical,
+                                            FinderStrategy::kRadii));
+}
+
+TEST(ResultCache, StrategyIsPartOfTheEntryIdentity) {
+  service::ResultCache cache(4, 1);
+  const auto req = service::parse_request("x^2 - 2", 30);
+  auto entry = std::make_shared<CacheEntry>();
+  entry->canonical = req.canonical;
+  entry->refine_poly = req.canonical;
+  entry->report.mu = 30;
+  entry->strategy = FinderStrategy::kPaper;
+  cache.insert(req.hash, entry);
+  // Even under the same hash a radii lookup must not see a paper entry.
+  EXPECT_NE(cache.find(req.hash, req.canonical, FinderStrategy::kPaper),
+            nullptr);
+  EXPECT_EQ(cache.find(req.hash, req.canonical, FinderStrategy::kRadii),
+            nullptr);
+}
+
+TEST(Service, StrategyTaggedRequestsKeepSeparateCacheEntries) {
+  RootService service(config_for(1, 40));
+  const Poly p = Poly::parse("x^3 - 6x^2 + 11x - 6");
+  const auto paper1 = service.solve(p, 40, FinderStrategy::kPaper);
+  ASSERT_TRUE(paper1.ok);
+  EXPECT_EQ(paper1.outcome, CacheOutcome::kMiss);
+  // A radii request for the same polynomial is a different cache identity:
+  // it must compute, not serve the paper entry.
+  const auto radii1 = service.solve(p, 40, FinderStrategy::kRadii);
+  ASSERT_TRUE(radii1.ok);
+  EXPECT_EQ(radii1.outcome, CacheOutcome::kMiss);
+  EXPECT_NE(radii1.key_hash, paper1.key_hash);
+  // Where both strategies apply the answers are bit-identical anyway.
+  EXPECT_EQ(radii1.report.roots, paper1.report.roots);
+  // Repeats hit their own strategy's entry, including refine upgrades.
+  EXPECT_EQ(service.solve(p, 40, FinderStrategy::kPaper).outcome,
+            CacheOutcome::kHitFull);
+  EXPECT_EQ(service.solve(p, 40, FinderStrategy::kRadii).outcome,
+            CacheOutcome::kHitFull);
+  const auto upgraded = service.solve(p, 90, FinderStrategy::kRadii);
+  EXPECT_EQ(upgraded.outcome, CacheOutcome::kHitRefined);
+  expect_same_report(upgraded.report,
+                     service.solve(p, 90, FinderStrategy::kPaper).report,
+                     "upgrade vs paper cold");
+}
+
+TEST(Service, RadiiStrategyServesGeneralInputsAndBatches) {
+  // A radii-configured service accepts complex-rooted requests that the
+  // paper strategy would push onto the Sturm fallback, and its batch path
+  // bypasses the shared tree staging without losing results.
+  ServiceConfig cfg = config_for(2, 40);
+  cfg.finder.strategy = FinderStrategy::kRadii;
+  cfg.finder.allow_sturm_fallback = false;
+  RootService service(cfg);
+  const std::vector<std::string> lines = {
+      "x^3 - 1", "x^2 - 2", "x^3 - 1", "x^5 - 4x + 2"};
+  const auto results = service.run_batch(lines);
+  ASSERT_EQ(results.size(), lines.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << lines[i] << ": " << results[i].error;
+    EXPECT_FALSE(results[i].report.used_sturm_fallback);
+  }
+  EXPECT_EQ(results[0].report.roots.size(), 1u);  // x^3 - 1: one real root
+  EXPECT_TRUE(results[2].deduplicated);
+  // No shared tree run was staged for radii-strategy requests.
+  EXPECT_EQ(service.stats().batch_runs, 0u);
+  // The same requests through submit() now hit the strategy-tagged cache.
+  EXPECT_EQ(service.submit("x^3 - 1").outcome, CacheOutcome::kHitFull);
 }
 
 }  // namespace
