@@ -26,6 +26,7 @@
 
 #include "bench_common.hpp"
 #include "bigint/bigint.hpp"
+#include "modular/simd/simd.hpp"
 
 namespace {
 
@@ -184,6 +185,20 @@ int main(int argc, char** argv) {
   }
   BigInt::set_mul_dispatch(saved);
 
+  // Two-sided crossover: the smallest measured size where the NTT wins by
+  // >= 5% at that size AND at every larger measured size.  A one-sided
+  // "first local win" once picked 1024 while 1536 still lost (transform
+  // padding makes the curve non-monotone near the boundary); requiring the
+  // win to persist is what makes the value usable as a dispatch threshold.
+  std::size_t crossover = 0;
+  for (std::size_t i = rows.size(); i-- > 0;) {
+    if (rows[i].speedup() >= 1.05) {
+      crossover = rows[i].limbs;
+    } else {
+      break;
+    }
+  }
+
   const std::string path = out_path(argc, argv);
   std::ofstream os(path);
   os.precision(6);
@@ -198,8 +213,16 @@ int main(int argc, char** argv) {
        << ", \"dispatch_pick\": \"" << r.pick << "\"}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n  \"measured_crossover_limbs\": " << crossover
+     << ",\n  \"default_ntt_threshold\": " << MulDispatch{}.ntt_threshold
+     << ",\n  \"simd_isa\": \""
+     << pr::modular::simd::isa_name(pr::modular::simd::active_isa())
+     << "\"\n}\n";
   std::cout << "\nwrote " << rows.size() << " rows to " << path << "\n"
+            << "\ntwo-sided crossover (ntt wins >= 5% from here up): "
+            << (crossover != 0 ? std::to_string(crossover) : "none")
+            << " limbs; MulDispatch default ntt_threshold = "
+            << MulDispatch::fast().ntt_threshold << "\n"
             << "\nexpected: the k/n speedup crosses 1.0 where the pick "
                "column flips to ntt\n(MulDispatch::fast()'s ntt_threshold is "
                "calibrated to that crossover), and\nexceeds 2x well before "

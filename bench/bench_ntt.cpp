@@ -8,7 +8,7 @@
 //                 invoked directly so below-cutoff lengths are measured
 //                 too -- that is what calibrates the cutoff).
 // Also reports which kernel ntt_profitable() picks at each length, so a
-// miscalibrated kNttButterflyUnits shows up as a "pick" column that
+// miscalibrated ntt_butterfly_units() shows up as a "pick" column that
 // disagrees with the measured speedup crossing 1.0.
 //
 // Every NTT product is checked bit-identical against schoolbook before
@@ -21,6 +21,7 @@
 #include "bench_common.hpp"
 #include "modular/ntt.hpp"
 #include "modular/polyzp.hpp"
+#include "modular/simd/simd.hpp"
 
 namespace {
 
@@ -32,9 +33,10 @@ using pr::modular::Zp;
 
 struct Row {
   std::size_t len;
-  double school_ns;  // per product
+  const char* isa;   // kernel table the NTT column ran on
+  double school_ns;  // per product (scalar by construction)
   double ntt_ns;     // per product
-  bool ntt_picked;   // what the dispatch cost model chooses
+  bool ntt_picked;   // what the dispatch cost model chooses on this ISA
   double speedup() const { return school_ns / ntt_ns; }
 };
 
@@ -82,11 +84,18 @@ int main(int argc, char** argv) {
     lengths.push_back(2048);
   }
 
+  namespace simd = pr::modular::simd;
+  const simd::Isa default_isa = simd::active_isa();
+  const auto isas = simd::available_isas();
+
   std::vector<Row> rows;
-  pr::TextTable table({5, 12, 12, 8, -7});
+  pr::TextTable table({5, 8, 12, 12, 8, -7});
   std::cout << "prime p = " << p << ", equal-length operands, best of "
-            << repeats << " runs\n\n"
-            << table.row({"len", "school ns", "ntt ns", "speedup", "pick"})
+            << repeats << " runs\n"
+            << "default kernel ISA: " << simd::isa_name(default_isa)
+            << " (schoolbook column is scalar by construction)\n\n"
+            << table.row(
+                   {"len", "isa", "school ns", "ntt ns", "speedup", "pick"})
             << "\n"
             << table.rule() << "\n";
 
@@ -110,27 +119,44 @@ int main(int argc, char** argv) {
         sink = sink + a.mul_schoolbook(b, f).coeff(len - 1).v;
       }
     });
-    const double ntt = timed_best(repeats, [&] {
-      for (std::size_t i = 0; i < iters; ++i) {
-        sink = sink + pr::modular::ntt_mul(a, b, f).coeff(len - 1).v;
+    // One NTT row per compiled-and-supported kernel table, so the JSON
+    // carries the scalar fallback and every vector ISA side by side.
+    for (const simd::Isa isa : isas) {
+      if (!simd::force_isa(isa)) continue;
+      if (!(pr::modular::ntt_mul(a, b, f) == ref)) {
+        std::cerr << "ntt mismatch at len " << len << " on "
+                  << simd::isa_name(isa) << "\n";
+        simd::reset_forced_isa();
+        return 1;
       }
-    });
-    const bool picked = pr::modular::ntt_profitable(len, len);
-    rows.push_back({len, school / iters * 1e9, ntt / iters * 1e9, picked});
-    const Row& r = rows.back();
-    std::cout << table.row({std::to_string(len), pr::fixed(r.school_ns, 0),
-                            pr::fixed(r.ntt_ns, 0), pr::fixed(r.speedup(), 2),
-                            r.ntt_picked ? "ntt" : "school"})
-              << "\n";
+      const double ntt = timed_best(repeats, [&] {
+        for (std::size_t i = 0; i < iters; ++i) {
+          sink = sink + pr::modular::ntt_mul(a, b, f).coeff(len - 1).v;
+        }
+      });
+      const bool picked = pr::modular::ntt_profitable(len, len);
+      rows.push_back({len, simd::isa_name(isa), school / iters * 1e9,
+                      ntt / iters * 1e9, picked});
+      const Row& r = rows.back();
+      std::cout << table.row({std::to_string(len), r.isa,
+                              pr::fixed(r.school_ns, 0), pr::fixed(r.ntt_ns, 0),
+                              pr::fixed(r.speedup(), 2),
+                              r.ntt_picked ? "ntt" : "school"})
+                << "\n";
+    }
+    simd::reset_forced_isa();
   }
 
   const std::string path = out_path(argc, argv);
   std::ofstream os(path);
   os.precision(6);
-  os << "{\n  \"bench\": \"ntt\",\n  \"prime\": " << p << ",\n  \"rows\": [\n";
+  os << "{\n  \"bench\": \"ntt\",\n  \"prime\": " << p
+     << ",\n  \"default_isa\": \"" << simd::isa_name(default_isa)
+     << "\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    os << "    {\"len\": " << r.len << ", \"schoolbook_ns\": " << r.school_ns
+    os << "    {\"len\": " << r.len << ", \"isa\": \"" << r.isa
+       << "\", \"schoolbook_ns\": " << r.school_ns
        << ", \"ntt_ns\": " << r.ntt_ns << ", \"speedup\": " << r.speedup()
        << ", \"dispatch_picks_ntt\": " << (r.ntt_picked ? "true" : "false")
        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "modular/simd/simd.hpp"
 #include "polyroots.hpp"
 #include "service/root_service.hpp"
 
@@ -142,6 +143,26 @@ void print_service_result(std::size_t line_no,
                 << "]\n";
     }
   }
+}
+
+void print_kernel_stats() {
+  namespace simd = pr::modular::simd;
+  std::cout << "\nmod-p kernels: " << simd::isa_name(simd::active_isa())
+            << "  (available:";
+  for (const simd::Isa isa : simd::available_isas()) {
+    std::cout << " " << simd::isa_name(isa);
+  }
+  const auto d = pr::BigInt::mul_dispatch();
+  std::cout << "; POLYROOTS_SIMD caps the pick)\n"
+            << "bigint mul dispatch: schoolbook"
+            << (d.karatsuba ? " | karatsuba >= " +
+                                  std::to_string(d.karatsuba_threshold) +
+                                  " limbs"
+                            : "")
+            << (d.ntt ? " | ntt >= " + std::to_string(d.ntt_threshold) +
+                            " limbs"
+                      : "")
+            << "\n";
 }
 
 void print_service_stats(const pr::service::RootService& service) {
@@ -274,7 +295,10 @@ int main(int argc, char** argv) {
         print_service_result(line_no, service.submit(line), digits, exact);
       }
     }
-    if (stats) print_service_stats(service);
+    if (stats) {
+      print_service_stats(service);
+      print_kernel_stats();
+    }
     return 0;
   }
 
@@ -338,6 +362,7 @@ int main(int argc, char** argv) {
   }
   if (stats) {
     std::cout << "\n" << pr::instr::format(pr::instr::aggregate());
+    print_kernel_stats();
     if (ran_parallel) {
       std::cout << "\npieces: " << prun.num_pieces
                 << "  (split level " << prun.split_level << ")\n"

@@ -67,12 +67,15 @@ struct MulDispatch {
   /// Smaller-operand limb count at/above which Karatsuba recurses.
   std::uint32_t karatsuba_threshold = 24;
   /// Smaller-operand limb count at/above which the NTT path engages;
-  /// default calibrated to the crossover measured by bench_bigint_mul on
-  /// the reference box (see docs/BENCHMARKS.md).  Deliberately a power of
-  /// two: the NTT pads the convolution to the next power of two, so sizes
-  /// just above one (1025..2048 limbs) pay for a double-size transform and
-  /// the crossover is not a smooth curve.
-  std::uint32_t ntt_threshold = 2048;
+  /// default calibrated to the two-sided crossover measured by
+  /// bench_bigint_mul (the smallest size where the NTT wins by >= 5% at
+  /// that size AND every larger measured size -- one-sided local wins
+  /// produced a non-monotone pick once; see docs/BENCHMARKS.md).  With
+  /// the SIMD mod-p kernels the crossover sits at 128-256 limbs; 256
+  /// keeps a noise margin.  Deliberately a power of two: the NTT pads the
+  /// convolution to the next power of two, so sizes just above one pay
+  /// for a double-size transform and the crossover is not a smooth curve.
+  std::uint32_t ntt_threshold = 256;
 
   /// Everything on at the calibrated thresholds: the fastest exact
   /// configuration (used by the benches and the large-operand callers).
@@ -157,6 +160,9 @@ class BigInt {
   /// i < limb_count().  Read-only window for the modular subsystem's
   /// division-free residue extraction.
   Limb limb(std::size_t i) const { return mag_[i]; }
+  /// Contiguous little-endian limb window (limb_count() limbs); the SIMD
+  /// reduction kernels stream it directly.  Valid until the next mutation.
+  const Limb* limbs() const { return mag_.data(); }
   /// Canonical residue of the *signed* value in [0, m): single pass over
   /// the limbs, most significant first.  For negative values the result is
   /// the true mathematical residue (m - |v| mod m, reduced), so reductions

@@ -8,6 +8,7 @@
 
 #include "modular/crt.hpp"
 #include "modular/ntt.hpp"
+#include "modular/simd/simd.hpp"
 #include "modular/zp.hpp"
 #include "support/error.hpp"
 
@@ -53,10 +54,20 @@ std::size_t ceil_log2(std::size_t n) {
 /// Per-thread transform/residue buffers: the NTT path targets operands of
 /// thousands of limbs, but tree-top combines call it in tight per-node
 /// loops, so the buffers persist across calls like BigInt::Scratch does.
+/// `residues` is one flat prime-major stripe (residues[t * conv + i] is
+/// coefficient i mod prime t): rows are contiguous for the batch to_u64
+/// conversion, and a coefficient tile across all primes is a constant-
+/// stride matrix the batched Garner kernels consume directly.
 struct NttMulScratch {
   std::vector<Zp> fa, fb;
-  std::vector<std::vector<std::uint64_t>> residues;  // [prime][coefficient]
+  std::vector<std::uint64_t> residues;  // prime-major: [prime * conv + coeff]
+  std::vector<std::uint64_t> windows;   // batched k-limb CRT windows
 };
+
+/// Coefficients reconstructed per batched-Garner call: wide enough that
+/// the vector garner_stage amortizes its setup, small enough that the
+/// digit matrix and window tile stay cache-resident (k * 1024 words each).
+constexpr std::size_t kReconTile = 1024;
 
 NttMulScratch& tls_ntt_scratch() {
   thread_local NttMulScratch s;
@@ -104,7 +115,8 @@ void mul_ntt_mag(const std::uint64_t* a, std::size_t an,
   const bool squaring = (a == b && an == bn);
 
   NttMulScratch& s = tls_ntt_scratch();
-  if (s.residues.size() < k) s.residues.resize(k);
+  s.residues.resize(k * conv);
+  const modular::simd::Kernels& kern = modular::simd::active();
 
   for (std::size_t t = 0; t < k; ++t) {
     // Transform in the registry field (identical prime, identical
@@ -112,23 +124,26 @@ void mul_ntt_mag(const std::uint64_t* a, std::size_t an,
     NttTables& tables = NttTables::for_prime(basis.field(t).prime());
     const PrimeField& f = tables.field();
     const NttPlan& plan = tables.plan(n);
+    const modular::MontCtx ctx = f.ctx();
 
-    s.fa.assign(n, Zp{0});
-    for (std::size_t i = 0; i < an; ++i) s.fa[i] = f.from_u64(a[i]);
+    s.fa.resize(n);
+    kern.from_u64(a, s.fa.data(), an, ctx);
+    std::fill(s.fa.begin() + static_cast<std::ptrdiff_t>(an), s.fa.end(),
+              Zp{0});
     modular::ntt_forward(s.fa, plan, f);
     if (squaring) {
-      for (Zp& x : s.fa) x = f.mul(x, x);
+      kern.pointwise_sqr(s.fa.data(), n, ctx);
     } else {
-      s.fb.assign(n, Zp{0});
-      for (std::size_t i = 0; i < bn; ++i) s.fb[i] = f.from_u64(b[i]);
+      s.fb.resize(n);
+      kern.from_u64(b, s.fb.data(), bn, ctx);
+      std::fill(s.fb.begin() + static_cast<std::ptrdiff_t>(bn), s.fb.end(),
+                Zp{0});
       modular::ntt_forward(s.fb, plan, f);
-      for (std::size_t i = 0; i < n; ++i) s.fa[i] = f.mul(s.fa[i], s.fb[i]);
+      kern.pointwise_mul(s.fa.data(), s.fb.data(), n, ctx);
     }
     modular::ntt_inverse(s.fa, plan, f);
 
-    auto& res = s.residues[t];
-    res.resize(conv);
-    for (std::size_t i = 0; i < conv; ++i) res[i] = f.to_u64(s.fa[i]);
+    kern.to_u64(s.fa.data(), s.residues.data() + t * conv, conv, ctx);
   }
 
   // Carry-propagating assembly: convolution coefficient c_j weighs 2^{64j},
@@ -137,30 +152,38 @@ void mul_ntt_mag(const std::uint64_t* a, std::size_t an,
   // an + bn limbs never overflow.
   out.assign(an + bn, 0);
   std::uint64_t* o = out.data();
-  std::uint64_t window[kNttMulMaxPrimes];
-  std::uint64_t rj[kNttMulMaxPrimes];
   const std::size_t on = an + bn;
-  for (std::size_t j = 0; j < conv; ++j) {
-    for (std::size_t t = 0; t < k; ++t) rj[t] = s.residues[t][j];
-    basis.reconstruct_limbs(rj, k, window);
-    unsigned __int128 carry = 0;
-    std::size_t l = 0;
-    for (; l < k && j + l < on; ++l) {
-      carry += o[j + l];
-      carry += window[l];
-      o[j + l] = static_cast<std::uint64_t>(carry);
-      carry >>= 64;
-    }
-    // Window limbs past the output end are zero by the coefficient bound
-    // (c_j < 2^{64(on - j)} for every j); same for a carry out of the top
-    // limb -- every partial sum is a prefix of the true product.
-    for (std::size_t h = l; h < k; ++h) {
-      check_internal(window[h] == 0, "mul_ntt_mag: coefficient bound breach");
-    }
-    for (std::size_t m = j + l; carry != 0; ++m) {
-      carry += o[m];
-      o[m] = static_cast<std::uint64_t>(carry);
-      carry >>= 64;
+  s.windows.resize(k * std::min(conv, kReconTile));
+  for (std::size_t j0 = 0; j0 < conv; j0 += kReconTile) {
+    const std::size_t cnt = std::min(kReconTile, conv - j0);
+    // Batched Garner over the coefficient tile: the stripe row for prime t
+    // starts at t * conv + j0, so the tile is the constant-stride matrix
+    // the batch API wants -- no per-coefficient residue gather.
+    basis.reconstruct_limbs_batch(s.residues.data() + j0, conv, k,
+                                  s.windows.data(), cnt);
+    for (std::size_t c = 0; c < cnt; ++c) {
+      const std::size_t j = j0 + c;
+      const std::uint64_t* window = s.windows.data() + c * k;
+      unsigned __int128 carry = 0;
+      std::size_t l = 0;
+      for (; l < k && j + l < on; ++l) {
+        carry += o[j + l];
+        carry += window[l];
+        o[j + l] = static_cast<std::uint64_t>(carry);
+        carry >>= 64;
+      }
+      // Window limbs past the output end are zero by the coefficient bound
+      // (c_j < 2^{64(on - j)} for every j); same for a carry out of the top
+      // limb -- every partial sum is a prefix of the true product.
+      for (std::size_t h = l; h < k; ++h) {
+        check_internal(window[h] == 0,
+                       "mul_ntt_mag: coefficient bound breach");
+      }
+      for (std::size_t m = j + l; carry != 0; ++m) {
+        carry += o[m];
+        o[m] = static_cast<std::uint64_t>(carry);
+        carry >>= 64;
+      }
     }
   }
   out.trim();

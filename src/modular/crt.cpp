@@ -4,6 +4,7 @@
 #include <string>
 
 #include "instr/counters.hpp"
+#include "modular/simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace pr::modular {
@@ -85,7 +86,7 @@ void CrtBasis::garner_digits(const std::uint64_t* residues, std::size_t k,
     // this loop multiply-bound instead of latency-bound.
     const Zp* w = w_[j].data();
     Acc192 acc;
-    for (std::size_t i = 0; i < j; ++i) acc.add(digits[i], w[i].v);
+    simd::active().acc192_dot(digits, w, j, acc);
     const std::uint64_t s = f.fold192_shr64(acc.lo, acc.hi, acc.carry);
     std::uint64_t t = residues[j] + p - s;
     if (t >= p) t -= p;
@@ -93,17 +94,37 @@ void CrtBasis::garner_digits(const std::uint64_t* residues, std::size_t k,
   }
 }
 
-std::size_t CrtBasis::horner_limbs(const std::uint64_t* digits, std::size_t k,
+void CrtBasis::garner_digits_batch(const std::uint64_t* residues,
+                                   std::size_t rstride, std::size_t k,
+                                   std::uint64_t* digits, std::size_t dstride,
+                                   std::size_t count) const {
+  check_internal(k >= 1 && k <= fields_.size() && rstride >= count &&
+                     dstride >= count,
+                 "CrtBasis::garner_digits_batch: bad layout");
+  std::copy(residues, residues + count, digits);
+  const simd::Kernels& kern = simd::active();
+  for (std::size_t j = 1; j < k; ++j) {
+    // Row j for all `count` values at once: the lane-parallel form of the
+    // single-value loop above (same fold, same conditional subtract).
+    kern.garner_stage(digits, dstride, j, w_[j].data(), inv_[j],
+                      residues + j * rstride, digits + j * dstride, count,
+                      fields_[j].ctx());
+  }
+}
+
+std::size_t CrtBasis::horner_limbs(const std::uint64_t* digits,
+                                   std::size_t stride, std::size_t k,
                                    std::uint64_t* buf) const {
   // Mixed-radix Horner assembly x = (...(d_{k-1} p_{k-2} + d_{k-2})...),
   // fused in a raw limb buffer: one multiply-add sweep per digit.  The
   // result magnitude is below the prime product < 2^{62k}, so k limbs
-  // always suffice.
-  buf[0] = digits[k - 1];
+  // always suffice.  `stride` walks the digit stream (batch layouts keep
+  // one value's digits a column apart), so no gather copy is needed.
+  buf[0] = digits[(k - 1) * stride];
   std::size_t used = 1;
   for (std::size_t i = k - 1; i-- > 0;) {
     const std::uint64_t p = fields_[i].prime();
-    std::uint64_t carry = digits[i];
+    std::uint64_t carry = digits[i * stride];
     for (std::size_t l = 0; l < used; ++l) {
       const unsigned __int128 t =
           static_cast<unsigned __int128>(buf[l]) * p + carry;
@@ -124,11 +145,47 @@ BigInt CrtBasis::reconstruct(const std::uint64_t* residues,
   garner_digits(residues, k, digits.data());
   thread_local std::vector<std::uint64_t> buf;
   buf.resize(k);
-  const std::size_t used = horner_limbs(digits.data(), k, buf.data());
+  const std::size_t used = horner_limbs(digits.data(), 1, k, buf.data());
   BigInt x = BigInt::from_limbs(buf.data(), used, false);
   if (x > half_products_[k]) x -= products_[k];
   instr::on_modular_crt(1, x.limb_count());
   return x;
+}
+
+void CrtBasis::reconstruct_limbs_batch(const std::uint64_t* residues,
+                                       std::size_t rstride, std::size_t k,
+                                       std::uint64_t* limbs,
+                                       std::size_t count) const {
+  if (count == 0) return;
+  thread_local std::vector<std::uint64_t> digits;
+  digits.resize(k * count);
+  garner_digits_batch(residues, rstride, k, digits.data(), count, count);
+  for (std::size_t c = 0; c < count; ++c) {
+    std::uint64_t* out = limbs + c * k;
+    const std::size_t used = horner_limbs(digits.data() + c, count, k, out);
+    for (std::size_t i = used; i < k; ++i) out[i] = 0;
+  }
+}
+
+void CrtBasis::reconstruct_batch(const std::uint64_t* residues,
+                                 std::size_t rstride, std::size_t k,
+                                 BigInt* out, std::size_t count) const {
+  check_internal(k >= 1 && k <= fields_.size(),
+                 "CrtBasis::reconstruct_batch: bad prime count");
+  if (count == 0) return;
+  thread_local std::vector<std::uint64_t> digits;
+  digits.resize(k * count);
+  garner_digits_batch(residues, rstride, k, digits.data(), count, count);
+  thread_local std::vector<std::uint64_t> buf;
+  buf.resize(k);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t used = horner_limbs(digits.data() + c, count, k,
+                                          buf.data());
+    BigInt x = BigInt::from_limbs(buf.data(), used, false);
+    if (x > half_products_[k]) x -= products_[k];
+    instr::on_modular_crt(1, x.limb_count());
+    out[c] = std::move(x);
+  }
 }
 
 void CrtBasis::reconstruct_limbs(const std::uint64_t* residues, std::size_t k,
@@ -138,7 +195,7 @@ void CrtBasis::reconstruct_limbs(const std::uint64_t* residues, std::size_t k,
   thread_local std::vector<std::uint64_t> digits;
   digits.resize(k);
   garner_digits(residues, k, digits.data());
-  const std::size_t used = horner_limbs(digits.data(), k, limbs);
+  const std::size_t used = horner_limbs(digits.data(), 1, k, limbs);
   for (std::size_t i = used; i < k; ++i) limbs[i] = 0;
 }
 

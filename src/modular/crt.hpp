@@ -71,14 +71,41 @@ class CrtBasis {
   void reconstruct_limbs(const std::uint64_t* residues, std::size_t k,
                          std::uint64_t* limbs) const;
 
+  /// Batched Garner digit extraction over `count` independent residue
+  /// systems sharing this basis, in the interleaved prime-major layout:
+  /// residues[j * rstride + c] is the canonical residue of value c mod
+  /// p_j, digits[j * dstride + c] receives mixed-radix digit j of value
+  /// c.  The per-value results are bit-identical to k calls of the
+  /// single-value path; the batch form exists so the O(k^2) digit stage
+  /// runs lane-parallel across values (SIMD kernel garner_stage).
+  /// Requires rstride, dstride >= count.  Thread-safe.
+  void garner_digits_batch(const std::uint64_t* residues, std::size_t rstride,
+                           std::size_t k, std::uint64_t* digits,
+                           std::size_t dstride, std::size_t count) const;
+
+  /// Batched reconstruct_limbs: value c's limbs land at limbs[c * k ..
+  /// c * k + k).  Same layout contract as garner_digits_batch.
+  void reconstruct_limbs_batch(const std::uint64_t* residues,
+                               std::size_t rstride, std::size_t k,
+                               std::uint64_t* limbs, std::size_t count) const;
+
+  /// Batched symmetric reconstruct: out[c] receives the unique
+  /// representative in (-M_k/2, M_k/2) of value c.  Same layout contract
+  /// as garner_digits_batch; bit-identical to count calls of
+  /// reconstruct().
+  void reconstruct_batch(const std::uint64_t* residues, std::size_t rstride,
+                         std::size_t k, BigInt* out, std::size_t count) const;
+
  private:
   // Garner mixed-radix digit extraction (digits[0..k)) and the fused
   // Horner limb assembly shared by both reconstruction flavors;
-  // horner_limbs returns the number of limbs written (<= k).
+  // horner_limbs returns the number of limbs written (<= k).  The digit
+  // stream may be strided (batch layouts store digit i of a value at
+  // digits[i * stride]).
   void garner_digits(const std::uint64_t* residues, std::size_t k,
                      std::uint64_t* digits) const;
-  std::size_t horner_limbs(const std::uint64_t* digits, std::size_t k,
-                           std::uint64_t* buf) const;
+  std::size_t horner_limbs(const std::uint64_t* digits, std::size_t stride,
+                           std::size_t k, std::uint64_t* buf) const;
 
   std::vector<PrimeField> fields_;
   // w_[j][i], 1 <= i < j: Montgomery form of (p_0...p_{i-1}) mod p_j.

@@ -336,16 +336,23 @@ void ModularCombine::reconstruct_entry(int r, int c) {
   if (!worthwhile_) return;
   instr::PhaseScope phase(instr::Phase::kTreePoly);
   const std::size_t k = primes_.size();
-  std::vector<std::uint64_t> residues(k);
   const auto idx = static_cast<std::size_t>(2 * r + c);
-  std::vector<BigInt> coeffs(len_[r][c]);
-  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+  const std::size_t count = len_[r][c];
+  std::vector<BigInt> coeffs(count);
+  if (count != 0) {
+    // Gather the entry's residues into a prime-major matrix and hand the
+    // whole coefficient run to the batched (lane-parallel) Garner path.
+    std::vector<std::uint64_t> residues(k * count);
     for (std::size_t s = 0; s < k; ++s) {
       check_internal(!rows_[s].empty(),
                      "ModularCombine: reconstruct before images");
-      residues[s] = rows_[s][idx][j];
+      const auto& row = rows_[s][idx];
+      check_internal(row.size() >= count,
+                     "ModularCombine: image row shorter than entry");
+      std::copy_n(row.begin(), count, residues.begin() + s * count);
     }
-    coeffs[j] = basis_->reconstruct(residues.data(), k);
+    basis_->reconstruct_batch(residues.data(), count, k, coeffs.data(),
+                              count);
   }
   result_.e[r][c] = Poly(std::move(coeffs));
 }

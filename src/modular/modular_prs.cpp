@@ -278,13 +278,25 @@ void MultimodularPrs::run_crt_wave(int i, std::size_t w) {
   }
   instr::PhaseScope phase(instr::Phase::kRemainder);
   const auto ui = static_cast<std::size_t>(i);
-  // Wave-local residue scratch: waves of one level run concurrently.
-  std::vector<std::uint64_t> residues(lvl_k_);
-  for (std::size_t j = w; j < level_coeffs_.size(); j += level_waves_) {
+  // Wave-local scratch: waves of one level run concurrently.  The wave's
+  // coefficients are gathered into one prime-major matrix (row per prime,
+  // column per coefficient) so the whole wave reconstructs through the
+  // batched lane-parallel Garner path in one call.
+  const std::size_t total = level_coeffs_.size();
+  if (w >= total) return;
+  const std::size_t count = (total - w + level_waves_ - 1) / level_waves_;
+  std::vector<std::uint64_t> residues(lvl_k_ * count);
+  std::size_t c = 0;
+  for (std::size_t j = w; j < total; j += level_waves_, ++c) {
     for (std::size_t s = 0; s < lvl_k_; ++s) {
-      residues[s] = slots_[s].rows[ui - 1][j];
+      residues[s * count + c] = slots_[s].rows[ui - 1][j];
     }
-    level_coeffs_[j] = basis_->reconstruct(residues.data(), lvl_k_);
+  }
+  std::vector<BigInt> out(count);
+  basis_->reconstruct_batch(residues.data(), count, lvl_k_, out.data(), count);
+  c = 0;
+  for (std::size_t j = w; j < total; j += level_waves_, ++c) {
+    level_coeffs_[j] = std::move(out[c]);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "instr/counters.hpp"
+#include "modular/simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace pr::modular {
@@ -18,11 +19,29 @@ constexpr unsigned kMaxPlanLog2 = 22;
 
 /// Calibrated cost constants, in the word-multiply units of the
 /// ModularCombine gate (1 unit == one raw 64x64 multiply-accumulate; a
-/// Montgomery field MAC is ~3).  kNttButterflyUnits charges one butterfly
-/// (one Montgomery multiply + two adds) including its share of the pass
-/// bookkeeping; calibrated against bench_ntt on the reference machine so
-/// the model's crossover matches the measured one (~length 32 operands).
-constexpr double kNttButterflyUnits = 4.0;
+/// Montgomery field MAC is ~3).  The per-butterfly charge (one Montgomery
+/// multiply + two adds, including its share of the pass bookkeeping) is
+/// ISA-dependent: the vector kernels retire several lane-parallel
+/// butterflies per iteration, so a butterfly costs fewer schoolbook MAC
+/// units.  Calibrated against bench_ntt per ISA so the model's crossover
+/// matches the measured one.  The choice only moves the speed cutoff --
+/// both sides of it compute identical coefficients -- and the active ISA
+/// is fixed at startup, so every thread still takes the same path.
+double ntt_butterfly_units() {
+  switch (simd::active_isa()) {
+    case simd::Isa::kAvx512:
+    case simd::Isa::kAvx2:
+      // Schoolbook MACs stay scalar while butterflies vectorize.  Small
+      // transforms are dominated by the permutation + sub-lane levels,
+      // so the effective per-butterfly charge shrinks less than the lane
+      // count suggests; 3.0 puts the model's crossover at the measured
+      // one (between length-24 and length-32 operands, bench_ntt).
+      return 3.0;
+    case simd::Isa::kScalar:
+      break;
+  }
+  return 4.0;
+}
 /// Operands shorter than this never profit (and the profitability test
 /// itself should cost nothing for the tiny products that dominate low
 /// levels of the remainder recurrence).
@@ -32,35 +51,21 @@ constexpr std::size_t kNttMinOperand = 16;
 /// which).  Input is in bit-reversed order; output is natural.  The first
 /// two levels run as one fused radix-4 pass: their twiddles are 1 and
 /// {1, i} (i = tw[3], the primitive 4th root), so fusing them removes a
-/// full pass over the data and all multiplies except the one by i.
+/// full pass over the data and all multiplies except the one by i.  All
+/// arithmetic goes through the runtime-dispatched kernel table
+/// (modular/simd/): identical canonical values on every ISA.
 void butterfly_passes(std::vector<Zp>& a, const std::vector<Zp>& tw,
                       const PrimeField& f) {
   const std::size_t n = a.size();
+  const simd::Kernels& k = simd::active();
+  const MontCtx ctx = f.ctx();
   std::size_t h = 1;
   if (n >= 4) {
-    const Zp im = tw[3];
-    for (std::size_t i0 = 0; i0 < n; i0 += 4) {
-      const Zp a0 = a[i0], a1 = a[i0 + 1], a2 = a[i0 + 2], a3 = a[i0 + 3];
-      const Zp b0 = f.add(a0, a1);
-      const Zp b1 = f.sub(a0, a1);
-      const Zp b2 = f.add(a2, a3);
-      const Zp b3 = f.mul(im, f.sub(a2, a3));
-      a[i0] = f.add(b0, b2);
-      a[i0 + 2] = f.sub(b0, b2);
-      a[i0 + 1] = f.add(b1, b3);
-      a[i0 + 3] = f.sub(b1, b3);
-    }
+    k.radix4_first(a.data(), n, tw[3], ctx);
     h = 4;
   }
   for (; h < n; h <<= 1) {
-    for (std::size_t i0 = 0; i0 < n; i0 += 2 * h) {
-      for (std::size_t j = 0; j < h; ++j) {
-        const Zp u = a[i0 + j];
-        const Zp v = f.mul(a[i0 + j + h], tw[h + j]);
-        a[i0 + j] = f.add(u, v);
-        a[i0 + j + h] = f.sub(u, v);
-      }
-    }
+    k.ntt_level(a.data(), n, h, tw.data(), ctx);
   }
 }
 
@@ -179,7 +184,7 @@ void ntt_inverse(std::vector<Zp>& a, const NttPlan& plan,
   check_arg(a.size() == plan.n, "ntt_inverse: size mismatch with plan");
   bit_reverse_permute(a, plan);
   butterfly_passes(a, plan.inv, f);
-  for (Zp& x : a) x = f.mul(x, plan.inv_n);
+  simd::active().scale(a.data(), a.size(), plan.inv_n, f.ctx());
   instr::on_modular_ntt(1, plan.n);
 }
 
@@ -188,7 +193,7 @@ double ntt_transform_cost(std::size_t n) {
   const double dn = static_cast<double>(n);
   const double lg = static_cast<double>(std::bit_width(n) - 1);
   // (n/2) log2 n butterflies plus one permutation pass.
-  return 0.5 * dn * lg * kNttButterflyUnits + dn;
+  return 0.5 * dn * lg * ntt_butterfly_units() + dn;
 }
 
 std::size_t ntt_conv_size(std::size_t la, std::size_t lb) {
@@ -222,12 +227,12 @@ PolyZp ntt_mul(const PolyZp& a, const PolyZp& b, const PrimeField& f) {
   std::copy(a.coeffs().begin(), a.coeffs().end(), fa.begin());
   ntt_forward(fa, plan, f);
   if (&a == &b) {
-    for (Zp& x : fa) x = f.mul(x, x);
+    simd::active().pointwise_sqr(fa.data(), n, f.ctx());
   } else {
     std::vector<Zp> fb(n, Zp{0});
     std::copy(b.coeffs().begin(), b.coeffs().end(), fb.begin());
     ntt_forward(fb, plan, f);
-    for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
+    simd::active().pointwise_mul(fa.data(), fb.data(), n, f.ctx());
   }
   ntt_inverse(fa, plan, f);
   fa.resize(la + lb - 1);

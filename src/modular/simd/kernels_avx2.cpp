@@ -1,0 +1,202 @@
+// AVX2 kernel table: 4 x 64-bit lanes over the ymm Montgomery primitives
+// (x86_mont.hpp).  Compiled with -mavx2 by the build (only on x86-64 with
+// POLYROOTS_DISABLE_SIMD off); selected at runtime only when cpuid
+// reports AVX2.  Every loop runs the vector body over whole 4-lane groups
+// and delegates the remainder to the scalar reference -- identical
+// per-lane formulas, so the seam cannot change a value.
+#include <cstddef>
+#include <cstdint>
+
+#include "modular/simd/mont_scalar.hpp"
+#include "modular/simd/simd.hpp"
+#include "modular/simd/x86_mont.hpp"
+
+namespace pr::modular::simd {
+
+namespace {
+
+void ntt_level_avx2(Zp* a, std::size_t n, std::size_t h, const Zp* tw,
+                    const MontCtx& f) {
+  if (h < 4) {
+    scalar_kernels().ntt_level(a, n, h, tw, f);
+    return;
+  }
+  const YmmField yf(f);
+  for (std::size_t i0 = 0; i0 < n; i0 += 2 * h) {
+    Zp* lo = a + i0;
+    Zp* hi = a + i0 + h;
+    for (std::size_t j = 0; j + 4 <= h; j += 4) {
+      const __m256i u = y_load(lo + j);
+      const __m256i w = y_load(tw + h + j);
+      const __m256i v = y_montmul(y_load(hi + j), w, yf);
+      y_store(lo + j, y_addmod(u, v, yf));
+      y_store(hi + j, y_submod(u, v, yf));
+    }
+    for (std::size_t j = h & ~std::size_t{3}; j < h; ++j) {
+      s_butterfly(lo[j].v, hi[j].v, tw[h + j].v, f);
+    }
+  }
+}
+
+void radix4_first_avx2(Zp* a, std::size_t n, Zp im, const MontCtx& f) {
+  const YmmField yf(f);
+  const __m256i imv = _mm256_set1_epi64x(static_cast<long long>(im.v));
+  std::size_t i0 = 0;
+  for (; i0 + 16 <= n; i0 += 16) y_radix4_block16(a + i0, imv, yf);
+  if (i0 < n) scalar_kernels().radix4_first(a + i0, n - i0, im, f);
+}
+
+void pointwise_mul_avx2(Zp* dst, const Zp* b, std::size_t n,
+                        const MontCtx& f) {
+  const YmmField yf(f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y_store(dst + i, y_montmul(y_load(dst + i), y_load(b + i), yf));
+  }
+  for (; i < n; ++i) dst[i].v = s_montmul(dst[i].v, b[i].v, f);
+}
+
+void pointwise_sqr_avx2(Zp* a, std::size_t n, const MontCtx& f) {
+  const YmmField yf(f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = y_load(a + i);
+    y_store(a + i, y_montmul(x, x, yf));
+  }
+  for (; i < n; ++i) a[i].v = s_montmul(a[i].v, a[i].v, f);
+}
+
+void scale_avx2(Zp* a, std::size_t n, Zp c, const MontCtx& f) {
+  const YmmField yf(f);
+  const __m256i cv = _mm256_set1_epi64x(static_cast<long long>(c.v));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y_store(a + i, y_montmul(y_load(a + i), cv, yf));
+  }
+  for (; i < n; ++i) a[i].v = s_montmul(a[i].v, c.v, f);
+}
+
+void from_u64_avx2(const std::uint64_t* in, Zp* out, std::size_t n,
+                   const MontCtx& f) {
+  const YmmField yf(f);
+  const __m256i r2 = _mm256_set1_epi64x(static_cast<long long>(f.r2));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y_store(out + i, y_montmul(y_load_u64(in + i), r2, yf));
+  }
+  for (; i < n; ++i) out[i].v = s_montmul(in[i], f.r2, f);
+}
+
+void to_u64_avx2(const Zp* in, std::uint64_t* out, std::size_t n,
+                 const MontCtx& f) {
+  const YmmField yf(f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    y_store_u64(out + i, y_redc64(y_load(in + i), yf));
+  }
+  for (; i < n; ++i) out[i] = s_redc(in[i].v, f);
+}
+
+void garner_stage_avx2(const std::uint64_t* digits, std::size_t stride,
+                       std::size_t j, const Zp* w, Zp inv,
+                       const std::uint64_t* residues_j, std::uint64_t* out,
+                       std::size_t count, const MontCtx& f) {
+  const YmmField yf(f);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i r2 = _mm256_set1_epi64x(static_cast<long long>(f.r2));
+  const __m256i invv = _mm256_set1_epi64x(static_cast<long long>(inv.v));
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    // Lane-parallel Acc192: the exact per-lane carry chain of Acc192::add.
+    __m256i acc_lo = _mm256_setzero_si256();
+    __m256i acc_hi = _mm256_setzero_si256();
+    __m256i acc_cr = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < j; ++i) {
+      const __m256i wi =
+          _mm256_set1_epi64x(static_cast<long long>(w[i].v));
+      __m256i th;
+      const __m256i tl = y_mul64_lohi(y_load_u64(digits + i * stride + c),
+                                      wi, &th);
+      acc_lo = _mm256_add_epi64(acc_lo, tl);
+      // th += (lo < tl); masks are all-ones, so subtracting adds 1.
+      th = _mm256_sub_epi64(th, y_ucmp_lt(acc_lo, tl));
+      const __m256i nh = _mm256_add_epi64(acc_hi, th);
+      acc_cr = _mm256_sub_epi64(acc_cr, y_ucmp_lt(nh, th));
+      acc_hi = nh;
+    }
+    // fold192_shr64: u = (carry << 64) + hi + redc(lo); montmul(redc(u), r2).
+    const __m256i r0 = y_redc64(acc_lo, yf);
+    const __m256i ul = _mm256_add_epi64(acc_hi, r0);
+    const __m256i uh =
+        _mm256_sub_epi64(acc_cr, y_ucmp_lt(ul, r0));
+    // redc of the 128-bit value uh:ul.
+    const __m256i m = y_mullo64(ul, yf.ninv);
+    const __m256i h2 = y_mulhi64(m, yf.p);
+    const __m256i ulz = _mm256_cmpeq_epi64(ul, _mm256_setzero_si256());
+    const __m256i cr = _mm256_andnot_si256(ulz, one);
+    const __m256i u =
+        _mm256_add_epi64(uh, _mm256_add_epi64(h2, cr));
+    const __m256i s = y_montmul(y_condsub(u, yf), r2, yf);
+    // t = residue + p - s, one conditional subtract, then * inv.
+    const __m256i t = y_condsub(
+        _mm256_sub_epi64(_mm256_add_epi64(y_load_u64(residues_j + c), yf.p),
+                         s),
+        yf);
+    y_store_u64(out + c, y_montmul(t, invv, yf));
+  }
+  if (c < count) {
+    scalar_kernels().garner_stage(digits + c, stride, j, w, inv,
+                                  residues_j + c, out + c, count - c, f);
+  }
+}
+
+void acc192_dot_avx2(const std::uint64_t* a, const Zp* b, std::size_t n,
+                     Acc192& acc) {
+  __m256i acc_lo = _mm256_setzero_si256();
+  __m256i acc_hi = _mm256_setzero_si256();
+  __m256i acc_cr = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i th;
+    const __m256i tl =
+        y_mul64_lohi(y_load_u64(a + i), y_load(b + i), &th);
+    acc_lo = _mm256_add_epi64(acc_lo, tl);
+    th = _mm256_sub_epi64(th, y_ucmp_lt(acc_lo, tl));
+    const __m256i nh = _mm256_add_epi64(acc_hi, th);
+    acc_cr = _mm256_sub_epi64(acc_cr, y_ucmp_lt(nh, th));
+    acc_hi = nh;
+  }
+  // Combine the four 192-bit lane partials into the scalar accumulator;
+  // exact integer addition, so the final triple is the canonical
+  // little-endian split of the same total the sequential loop produces.
+  alignas(32) std::uint64_t lo4[4], hi4[4], cr4[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lo4), acc_lo);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(hi4), acc_hi);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(cr4), acc_cr);
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t nl = acc.lo + lo4[k];
+    const std::uint64_t ch = (nl < lo4[k]) ? 1u : 0u;
+    acc.lo = nl;
+    // hi digits are full mod-2^64 words; add in 128-bit so a wrap of
+    // hi + carry-in still reaches the top word.
+    const unsigned __int128 th128 =
+        static_cast<unsigned __int128>(acc.hi) + hi4[k] + ch;
+    acc.hi = static_cast<std::uint64_t>(th128);
+    acc.carry += cr4[k] + static_cast<std::uint64_t>(th128 >> 64);
+  }
+  for (; i < n; ++i) acc.add(a[i], b[i].v);
+}
+
+}  // namespace
+
+const Kernels& avx2_kernels() {
+  static const Kernels k = {
+      Isa::kAvx2,        ntt_level_avx2, radix4_first_avx2,
+      pointwise_mul_avx2, pointwise_sqr_avx2, scale_avx2,
+      from_u64_avx2,     to_u64_avx2,    garner_stage_avx2,
+      acc192_dot_avx2,
+  };
+  return k;
+}
+
+}  // namespace pr::modular::simd

@@ -1,0 +1,295 @@
+// AVX-512 kernel table: 8 x 64-bit lanes (F/DQ/VL/BW).  Same structure as
+// the AVX2 table with three upgrades: native 64-bit low products
+// (vpmullq), mask-register conditional arithmetic instead of blend
+// masks, and unsigned compares without the sign-bias trick.  Butterfly
+// levels with h == 4 (a zmm cannot span the block half) fall back to the
+// ymm path shared with the AVX2 TU; h < 4 and loop tails go to scalar.
+// Runtime selection requires avx512f+dq+vl+bw, which implies AVX2, so
+// the ymm helpers are always executable here.
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "modular/simd/mont_scalar.hpp"
+#include "modular/simd/simd.hpp"
+#include "modular/simd/x86_mont.hpp"
+
+namespace pr::modular::simd {
+
+namespace {
+
+struct ZmmField {
+  __m512i p;
+  __m512i ninv;
+
+  explicit ZmmField(const MontCtx& f)
+      : p(_mm512_set1_epi64(static_cast<long long>(f.p))),
+        ninv(_mm512_set1_epi64(static_cast<long long>(f.ninv))) {}
+};
+
+inline __m512i z_load(const Zp* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+inline __m512i z_load_u64(const std::uint64_t* p) {
+  return _mm512_loadu_si512(reinterpret_cast<const void*>(p));
+}
+inline void z_store(Zp* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+inline void z_store_u64(std::uint64_t* p, __m512i v) {
+  _mm512_storeu_si512(reinterpret_cast<void*>(p), v);
+}
+
+/// High 64 bits of a * b per lane (vpmuludq decomposition; the low word
+/// comes from vpmullq when needed).
+inline __m512i z_mulhi64(__m512i a, __m512i b) {
+  const __m512i lomask = _mm512_set1_epi64(0xffffffffll);
+  const __m512i a_hi = _mm512_srli_epi64(a, 32);
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  const __m512i ll = _mm512_mul_epu32(a, b);
+  const __m512i lh = _mm512_mul_epu32(a, b_hi);
+  const __m512i hl = _mm512_mul_epu32(a_hi, b);
+  const __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+  const __m512i cross = _mm512_add_epi64(
+      _mm512_srli_epi64(ll, 32),
+      _mm512_add_epi64(_mm512_and_si512(lh, lomask),
+                       _mm512_and_si512(hl, lomask)));
+  return _mm512_add_epi64(
+      hh, _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                           _mm512_add_epi64(_mm512_srli_epi64(hl, 32),
+                                            _mm512_srli_epi64(cross, 32))));
+}
+
+/// u - p where u >= p, else u.
+inline __m512i z_condsub(__m512i u, const ZmmField& f) {
+  const __mmask8 ge = _mm512_cmpge_epu64_mask(u, f.p);
+  return _mm512_mask_sub_epi64(u, ge, u, f.p);
+}
+
+inline __m512i z_addmod(__m512i a, __m512i b, const ZmmField& f) {
+  return z_condsub(_mm512_add_epi64(a, b), f);
+}
+
+inline __m512i z_submod(__m512i a, __m512i b, const ZmmField& f) {
+  const __mmask8 lt = _mm512_cmplt_epu64_mask(a, b);
+  const __m512i d = _mm512_sub_epi64(a, b);
+  return _mm512_mask_add_epi64(d, lt, d, f.p);
+}
+
+/// Montgomery product redc(a * b), matching s_montmul lane for lane.
+inline __m512i z_montmul(__m512i a, __m512i b, const ZmmField& f) {
+  const __m512i lo = _mm512_mullo_epi64(a, b);
+  const __m512i hi = z_mulhi64(a, b);
+  const __m512i m = _mm512_mullo_epi64(lo, f.ninv);
+  const __m512i h2 = z_mulhi64(m, f.p);
+  const __mmask8 nz = _mm512_test_epi64_mask(lo, lo);
+  const __m512i s = _mm512_add_epi64(hi, h2);
+  const __m512i u =
+      _mm512_mask_add_epi64(s, nz, s, _mm512_set1_epi64(1));
+  return z_condsub(u, f);
+}
+
+/// redc of a 64-bit value t.
+inline __m512i z_redc64(__m512i t, const ZmmField& f) {
+  const __m512i m = _mm512_mullo_epi64(t, f.ninv);
+  const __m512i h2 = z_mulhi64(m, f.p);
+  const __mmask8 nz = _mm512_test_epi64_mask(t, t);
+  const __m512i u =
+      _mm512_mask_add_epi64(h2, nz, h2, _mm512_set1_epi64(1));
+  return z_condsub(u, f);
+}
+
+void ntt_level_avx512(Zp* a, std::size_t n, std::size_t h, const Zp* tw,
+                      const MontCtx& f) {
+  if (h < 4) {
+    scalar_kernels().ntt_level(a, n, h, tw, f);
+    return;
+  }
+  if (h < 8) {
+    // One ymm spans the h == 4 half-blocks exactly.
+    const YmmField yf(f);
+    for (std::size_t i0 = 0; i0 < n; i0 += 2 * h) {
+      const __m256i u = y_load(a + i0);
+      const __m256i w = y_load(tw + h);
+      const __m256i v = y_montmul(y_load(a + i0 + h), w, yf);
+      y_store(a + i0, y_addmod(u, v, yf));
+      y_store(a + i0 + h, y_submod(u, v, yf));
+    }
+    return;
+  }
+  const ZmmField zf(f);
+  for (std::size_t i0 = 0; i0 < n; i0 += 2 * h) {
+    Zp* lo = a + i0;
+    Zp* hi = a + i0 + h;
+    for (std::size_t j = 0; j + 8 <= h; j += 8) {
+      const __m512i u = z_load(lo + j);
+      const __m512i w = z_load(tw + h + j);
+      const __m512i v = z_montmul(z_load(hi + j), w, zf);
+      z_store(lo + j, z_addmod(u, v, zf));
+      z_store(hi + j, z_submod(u, v, zf));
+    }
+    for (std::size_t j = h & ~std::size_t{7}; j < h; ++j) {
+      s_butterfly(lo[j].v, hi[j].v, tw[h + j].v, f);
+    }
+  }
+}
+
+void radix4_first_avx512(Zp* a, std::size_t n, Zp im, const MontCtx& f) {
+  // Groups of four are ymm territory (the transpose keeps whole groups in
+  // 256-bit rows); reuse the shared pass.
+  const YmmField yf(f);
+  const __m256i imv = _mm256_set1_epi64x(static_cast<long long>(im.v));
+  std::size_t i0 = 0;
+  for (; i0 + 16 <= n; i0 += 16) y_radix4_block16(a + i0, imv, yf);
+  if (i0 < n) scalar_kernels().radix4_first(a + i0, n - i0, im, f);
+}
+
+void pointwise_mul_avx512(Zp* dst, const Zp* b, std::size_t n,
+                          const MontCtx& f) {
+  const ZmmField zf(f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    z_store(dst + i, z_montmul(z_load(dst + i), z_load(b + i), zf));
+  }
+  for (; i < n; ++i) dst[i].v = s_montmul(dst[i].v, b[i].v, f);
+}
+
+void pointwise_sqr_avx512(Zp* a, std::size_t n, const MontCtx& f) {
+  const ZmmField zf(f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = z_load(a + i);
+    z_store(a + i, z_montmul(x, x, zf));
+  }
+  for (; i < n; ++i) a[i].v = s_montmul(a[i].v, a[i].v, f);
+}
+
+void scale_avx512(Zp* a, std::size_t n, Zp c, const MontCtx& f) {
+  const ZmmField zf(f);
+  const __m512i cv = _mm512_set1_epi64(static_cast<long long>(c.v));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    z_store(a + i, z_montmul(z_load(a + i), cv, zf));
+  }
+  for (; i < n; ++i) a[i].v = s_montmul(a[i].v, c.v, f);
+}
+
+void from_u64_avx512(const std::uint64_t* in, Zp* out, std::size_t n,
+                     const MontCtx& f) {
+  const ZmmField zf(f);
+  const __m512i r2 = _mm512_set1_epi64(static_cast<long long>(f.r2));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    z_store(out + i, z_montmul(z_load_u64(in + i), r2, zf));
+  }
+  for (; i < n; ++i) out[i].v = s_montmul(in[i], f.r2, f);
+}
+
+void to_u64_avx512(const Zp* in, std::uint64_t* out, std::size_t n,
+                   const MontCtx& f) {
+  const ZmmField zf(f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    z_store_u64(out + i, z_redc64(z_load(in + i), zf));
+  }
+  for (; i < n; ++i) out[i] = s_redc(in[i].v, f);
+}
+
+void garner_stage_avx512(const std::uint64_t* digits, std::size_t stride,
+                         std::size_t j, const Zp* w, Zp inv,
+                         const std::uint64_t* residues_j, std::uint64_t* out,
+                         std::size_t count, const MontCtx& f) {
+  const ZmmField zf(f);
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i r2 = _mm512_set1_epi64(static_cast<long long>(f.r2));
+  const __m512i invv = _mm512_set1_epi64(static_cast<long long>(inv.v));
+  std::size_t c = 0;
+  for (; c + 8 <= count; c += 8) {
+    __m512i acc_lo = _mm512_setzero_si512();
+    __m512i acc_hi = _mm512_setzero_si512();
+    __m512i acc_cr = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < j; ++i) {
+      const __m512i wi = _mm512_set1_epi64(static_cast<long long>(w[i].v));
+      const __m512i d = z_load_u64(digits + i * stride + c);
+      const __m512i tl = _mm512_mullo_epi64(d, wi);
+      __m512i th = z_mulhi64(d, wi);
+      acc_lo = _mm512_add_epi64(acc_lo, tl);
+      const __mmask8 c1 = _mm512_cmplt_epu64_mask(acc_lo, tl);
+      th = _mm512_mask_add_epi64(th, c1, th, one);
+      const __m512i nh = _mm512_add_epi64(acc_hi, th);
+      const __mmask8 c2 = _mm512_cmplt_epu64_mask(nh, th);
+      acc_cr = _mm512_mask_add_epi64(acc_cr, c2, acc_cr, one);
+      acc_hi = nh;
+    }
+    const __m512i r0 = z_redc64(acc_lo, zf);
+    const __m512i ul = _mm512_add_epi64(acc_hi, r0);
+    const __mmask8 cu = _mm512_cmplt_epu64_mask(ul, r0);
+    const __m512i uh = _mm512_mask_add_epi64(acc_cr, cu, acc_cr, one);
+    const __m512i m = _mm512_mullo_epi64(ul, zf.ninv);
+    const __m512i h2 = z_mulhi64(m, zf.p);
+    const __mmask8 nz = _mm512_test_epi64_mask(ul, ul);
+    const __m512i s0 = _mm512_add_epi64(uh, h2);
+    const __m512i u = _mm512_mask_add_epi64(s0, nz, s0, one);
+    const __m512i s = z_montmul(z_condsub(u, zf), r2, zf);
+    const __m512i t = z_condsub(
+        _mm512_sub_epi64(
+            _mm512_add_epi64(z_load_u64(residues_j + c), zf.p), s),
+        zf);
+    z_store_u64(out + c, z_montmul(t, invv, zf));
+  }
+  if (c < count) {
+    scalar_kernels().garner_stage(digits + c, stride, j, w, inv,
+                                  residues_j + c, out + c, count - c, f);
+  }
+}
+
+void acc192_dot_avx512(const std::uint64_t* a, const Zp* b, std::size_t n,
+                       Acc192& acc) {
+  const __m512i one = _mm512_set1_epi64(1);
+  __m512i acc_lo = _mm512_setzero_si512();
+  __m512i acc_hi = _mm512_setzero_si512();
+  __m512i acc_cr = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = z_load_u64(a + i);
+    const __m512i y = z_load(b + i);
+    const __m512i tl = _mm512_mullo_epi64(x, y);
+    __m512i th = z_mulhi64(x, y);
+    acc_lo = _mm512_add_epi64(acc_lo, tl);
+    const __mmask8 c1 = _mm512_cmplt_epu64_mask(acc_lo, tl);
+    th = _mm512_mask_add_epi64(th, c1, th, one);
+    const __m512i nh = _mm512_add_epi64(acc_hi, th);
+    const __mmask8 c2 = _mm512_cmplt_epu64_mask(nh, th);
+    acc_cr = _mm512_mask_add_epi64(acc_cr, c2, acc_cr, one);
+    acc_hi = nh;
+  }
+  alignas(64) std::uint64_t lo8[8], hi8[8], cr8[8];
+  _mm512_store_si512(reinterpret_cast<void*>(lo8), acc_lo);
+  _mm512_store_si512(reinterpret_cast<void*>(hi8), acc_hi);
+  _mm512_store_si512(reinterpret_cast<void*>(cr8), acc_cr);
+  for (int k = 0; k < 8; ++k) {
+    const std::uint64_t nl = acc.lo + lo8[k];
+    const std::uint64_t ch = (nl < lo8[k]) ? 1u : 0u;
+    acc.lo = nl;
+    const unsigned __int128 th128 =
+        static_cast<unsigned __int128>(acc.hi) + hi8[k] + ch;
+    acc.hi = static_cast<std::uint64_t>(th128);
+    acc.carry += cr8[k] + static_cast<std::uint64_t>(th128 >> 64);
+  }
+  for (; i < n; ++i) acc.add(a[i], b[i].v);
+}
+
+}  // namespace
+
+const Kernels& avx512_kernels() {
+  static const Kernels k = {
+      Isa::kAvx512,         ntt_level_avx512, radix4_first_avx512,
+      pointwise_mul_avx512, pointwise_sqr_avx512, scale_avx512,
+      from_u64_avx512,      to_u64_avx512,    garner_stage_avx512,
+      acc192_dot_avx512,
+  };
+  return k;
+}
+
+}  // namespace pr::modular::simd

@@ -1,0 +1,64 @@
+// Scalar Montgomery primitives over a MontCtx -- the reference semantics
+// every SIMD kernel must reproduce bit-for-bit.
+//
+// These are the same formulas as PrimeField's private redc/mont_mul (both
+// derive from the identical constants; zp.hpp documents the derivation),
+// restated over the plain-word MontCtx so that (a) the portable kernel
+// table, (b) the scalar epilogues of the vector kernels, and (c) the
+// differential tests all share ONE implementation.  Header-only and
+// dependency-free beyond zp.hpp so the per-ISA translation units can
+// include it under their own target flags.
+#pragma once
+
+#include <cstdint>
+
+#include "modular/zp.hpp"
+
+namespace pr::modular::simd {
+
+/// Montgomery reduction of a 128-bit value t (t < p * 2^64 for a
+/// canonical result; larger t still matches PrimeField::redc exactly,
+/// which is all the fold path needs).
+inline std::uint64_t s_redc(unsigned __int128 t, const MontCtx& f) {
+  const std::uint64_t m = static_cast<std::uint64_t>(t) * f.ninv;
+  const std::uint64_t u = static_cast<std::uint64_t>(
+      (t + static_cast<unsigned __int128>(m) * f.p) >> 64);
+  return u >= f.p ? u - f.p : u;
+}
+
+inline std::uint64_t s_montmul(std::uint64_t a, std::uint64_t b,
+                               const MontCtx& f) {
+  return s_redc(static_cast<unsigned __int128>(a) * b, f);
+}
+
+inline std::uint64_t s_add(std::uint64_t a, std::uint64_t b,
+                           const MontCtx& f) {
+  std::uint64_t s = a + b;  // both below p < 2^63: no overflow
+  if (s >= f.p) s -= f.p;
+  return s;
+}
+
+inline std::uint64_t s_sub(std::uint64_t a, std::uint64_t b,
+                           const MontCtx& f) {
+  return a >= b ? a - b : a + f.p - b;
+}
+
+/// PrimeField::fold192_shr64 restated: canonical residue of
+/// (carry * 2^128 + hi * 2^64 + lo) / 2^64  (mod p).
+inline std::uint64_t s_fold192_shr64(std::uint64_t lo, std::uint64_t hi,
+                                     std::uint64_t carry, const MontCtx& f) {
+  const unsigned __int128 u =
+      (static_cast<unsigned __int128>(carry) << 64) + hi + s_redc(lo, f);
+  return s_montmul(s_redc(u, f), f.r2, f);
+}
+
+/// One scalar radix-2 butterfly: (u, t) -> (u + t*w, u - t*w).
+inline void s_butterfly(std::uint64_t& u, std::uint64_t& t, std::uint64_t w,
+                        const MontCtx& f) {
+  const std::uint64_t v = s_montmul(t, w, f);
+  const std::uint64_t a = s_add(u, v, f);
+  t = s_sub(u, v, f);
+  u = a;
+}
+
+}  // namespace pr::modular::simd

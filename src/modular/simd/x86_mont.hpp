@@ -1,0 +1,185 @@
+// 4-lane (ymm) Montgomery primitives for the x86 kernel TUs.
+//
+// AVX2 has no 64x64->128 lane multiply, so wide products are assembled
+// from vpmuludq 32x32->64 partials -- the classic 4-partial decomposition.
+// Every routine mirrors the scalar formulas in mont_scalar.hpp exactly:
+// same reduction, same single conditional subtract, so lane k of any
+// vector result equals the scalar result on lane k's inputs bit for bit.
+//
+// All comparisons exploit the field invariants: residues are < p < 2^63
+// and every pre-subtract sum is < 2p < 2^63, so SIGNED vpcmpgtq is a
+// valid unsigned comparison there.  The few genuinely unsigned compares
+// (carry detection on full 64-bit words) go through a sign-bias XOR.
+//
+// Included only by TUs compiled with AVX2 (or wider) target flags; the
+// AVX-512 TU reuses the ymm radix-4 transpose pass and the h == 4
+// butterfly level, where 8-lane vectors cannot span a block half.
+#pragma once
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "modular/zp.hpp"
+
+namespace pr::modular::simd {
+
+struct YmmField {
+  __m256i p;
+  __m256i ninv;
+
+  explicit YmmField(const MontCtx& f)
+      : p(_mm256_set1_epi64x(static_cast<long long>(f.p))),
+        ninv(_mm256_set1_epi64x(static_cast<long long>(f.ninv))) {}
+};
+
+inline __m256i y_load(const Zp* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline __m256i y_load_u64(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void y_store(Zp* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+inline void y_store_u64(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// All-ones lanes where a < b as unsigned 64-bit (sign-bias trick; the
+/// bias constant is hoisted out of every loop by the compiler).
+inline __m256i y_ucmp_lt(__m256i a, __m256i b) {
+  const __m256i sign =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, sign),
+                            _mm256_xor_si256(a, sign));
+}
+
+/// Low 64 bits of a * b per lane.
+inline __m256i y_mullo64(__m256i a, __m256i b) {
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+      _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+/// Full 128-bit product per lane: returns the low halves, writes the high
+/// halves to *hi.
+inline __m256i y_mul64_lohi(__m256i a, __m256i b, __m256i* hi) {
+  const __m256i lomask = _mm256_set1_epi64x(0xffffffffll);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+  // cross: (ll >> 32) + lo32(lh) + lo32(hl), at most 34 bits -- no carry
+  // out of the 64-bit lane.
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_srli_epi64(ll, 32),
+      _mm256_add_epi64(_mm256_and_si256(lh, lomask),
+                       _mm256_and_si256(hl, lomask)));
+  *hi = _mm256_add_epi64(
+      hh, _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                           _mm256_add_epi64(_mm256_srli_epi64(hl, 32),
+                                            _mm256_srli_epi64(cross, 32))));
+  return _mm256_or_si256(_mm256_slli_epi64(cross, 32),
+                         _mm256_and_si256(ll, lomask));
+}
+
+/// High 64 bits only (skips assembling the low word).
+inline __m256i y_mulhi64(__m256i a, __m256i b) {
+  const __m256i lomask = _mm256_set1_epi64x(0xffffffffll);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+  const __m256i cross = _mm256_add_epi64(
+      _mm256_srli_epi64(ll, 32),
+      _mm256_add_epi64(_mm256_and_si256(lh, lomask),
+                       _mm256_and_si256(hl, lomask)));
+  return _mm256_add_epi64(
+      hh, _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                           _mm256_add_epi64(_mm256_srli_epi64(hl, 32),
+                                            _mm256_srli_epi64(cross, 32))));
+}
+
+/// u - p where u >= p, else u (u < 2p < 2^63: signed compare is exact).
+inline __m256i y_condsub(__m256i u, const YmmField& f) {
+  const __m256i keep = _mm256_cmpgt_epi64(f.p, u);  // u < p
+  return _mm256_sub_epi64(u, _mm256_andnot_si256(keep, f.p));
+}
+
+/// Canonical a + b mod p (both canonical).
+inline __m256i y_addmod(__m256i a, __m256i b, const YmmField& f) {
+  return y_condsub(_mm256_add_epi64(a, b), f);
+}
+
+/// Canonical a - b mod p (both canonical).
+inline __m256i y_submod(__m256i a, __m256i b, const YmmField& f) {
+  const __m256i borrow = _mm256_cmpgt_epi64(b, a);  // a < b
+  return _mm256_add_epi64(_mm256_sub_epi64(a, b),
+                          _mm256_and_si256(borrow, f.p));
+}
+
+/// Montgomery product redc(a * b): canonical when a * b < p * 2^64 (one
+/// canonical operand suffices), matching s_montmul lane for lane.
+inline __m256i y_montmul(__m256i a, __m256i b, const YmmField& f) {
+  __m256i hi;
+  const __m256i lo = y_mul64_lohi(a, b, &hi);
+  const __m256i m = y_mullo64(lo, f.ninv);
+  const __m256i h2 = y_mulhi64(m, f.p);
+  // (lo + low64(m * p)) is 0 mod 2^64 by construction, so its carry-out
+  // is exactly (lo != 0).
+  const __m256i lz = _mm256_cmpeq_epi64(lo, _mm256_setzero_si256());
+  const __m256i carry = _mm256_andnot_si256(lz, _mm256_set1_epi64x(1));
+  const __m256i u = _mm256_add_epi64(_mm256_add_epi64(hi, h2), carry);
+  return y_condsub(u, f);
+}
+
+/// redc of a 64-bit value t (montmul with an implicit second operand 1).
+inline __m256i y_redc64(__m256i t, const YmmField& f) {
+  const __m256i m = y_mullo64(t, f.ninv);
+  const __m256i h2 = y_mulhi64(m, f.p);
+  const __m256i tz = _mm256_cmpeq_epi64(t, _mm256_setzero_si256());
+  const __m256i carry = _mm256_andnot_si256(tz, _mm256_set1_epi64x(1));
+  return y_condsub(_mm256_add_epi64(h2, carry), f);
+}
+
+/// 4x4 transpose of u64 lanes: rows r0..r3 -> columns c0..c3.
+inline void y_transpose4(__m256i r0, __m256i r1, __m256i r2, __m256i r3,
+                         __m256i* c0, __m256i* c1, __m256i* c2, __m256i* c3) {
+  const __m256i t0 = _mm256_unpacklo_epi64(r0, r1);  // r0.0 r1.0 r0.2 r1.2
+  const __m256i t1 = _mm256_unpackhi_epi64(r0, r1);  // r0.1 r1.1 r0.3 r1.3
+  const __m256i t2 = _mm256_unpacklo_epi64(r2, r3);
+  const __m256i t3 = _mm256_unpackhi_epi64(r2, r3);
+  *c0 = _mm256_permute2x128_si256(t0, t2, 0x20);
+  *c1 = _mm256_permute2x128_si256(t1, t3, 0x20);
+  *c2 = _mm256_permute2x128_si256(t0, t2, 0x31);
+  *c3 = _mm256_permute2x128_si256(t1, t3, 0x31);
+}
+
+/// The fused radix-4 first pass over 4 groups (16 contiguous residues):
+/// transpose, butterfly columns, transpose back.  Shared by the AVX2 and
+/// AVX-512 kernels (block halves of 1 and 2 cannot span wider vectors).
+inline void y_radix4_block16(Zp* a, __m256i im, const YmmField& f) {
+  __m256i c0, c1, c2, c3;
+  y_transpose4(y_load(a), y_load(a + 4), y_load(a + 8), y_load(a + 12),
+               &c0, &c1, &c2, &c3);
+  const __m256i b0 = y_addmod(c0, c1, f);
+  const __m256i b1 = y_submod(c0, c1, f);
+  const __m256i b2 = y_addmod(c2, c3, f);
+  const __m256i b3 = y_montmul(im, y_submod(c2, c3, f), f);
+  __m256i r0, r1, r2, r3;
+  y_transpose4(y_addmod(b0, b2, f), y_addmod(b1, b3, f),
+               y_submod(b0, b2, f), y_submod(b1, b3, f), &r0, &r1, &r2, &r3);
+  y_store(a, r0);
+  y_store(a + 4, r1);
+  y_store(a + 8, r2);
+  y_store(a + 12, r3);
+}
+
+}  // namespace pr::modular::simd

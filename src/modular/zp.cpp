@@ -4,6 +4,7 @@
 #include <mutex>
 #include <vector>
 
+#include "modular/simd/simd.hpp"
 #include "support/error.hpp"
 
 namespace pr::modular {
@@ -145,9 +146,11 @@ Zp LimbReducer::reduce(const BigInt& x) {
   while (pow_.size() < nl) pow_.push_back(f_.shift64(pow_.back()));
   // sum limb_j * mont(2^{64j}) == 2^64 * |x| (mod p), so the plain fold
   // (which keeps the surplus radix factor) lands directly in Montgomery
-  // form.
+  // form.  The dot streams the raw limb array through the SIMD kernel
+  // table; the combined 192-bit value is exact, so the fold is
+  // bit-identical to the sequential accumulation.
   Acc192 acc;
-  for (std::size_t j = 0; j < nl; ++j) acc.add(x.limb(j), pow_[j].v);
+  simd::active().acc192_dot(x.limbs(), pow_.data(), nl, acc);
   const Zp m{f_.fold192(acc.lo, acc.hi, acc.carry)};
   return x.negative() ? f_.neg(m) : m;
 }

@@ -40,6 +40,17 @@ struct Zp {
   friend bool operator!=(Zp a, Zp b) { return a.v != b.v; }
 };
 
+/// The Montgomery constants of one PrimeField as plain words, for the
+/// SIMD kernel layer (modular/simd/): vector kernels broadcast these into
+/// lanes and must agree bit-for-bit with the member-function arithmetic,
+/// so both are derived from the same init().
+struct MontCtx {
+  std::uint64_t p = 0;     ///< the odd prime, below 2^63
+  std::uint64_t ninv = 0;  ///< -p^{-1} mod 2^64
+  std::uint64_t r2 = 0;    ///< 2^128 mod p
+  std::uint64_t one = 0;   ///< 2^64 mod p (Montgomery form of 1)
+};
+
 class PrimeField {
  public:
   /// p must be an odd prime below 2^63 (checked).
@@ -57,6 +68,8 @@ class PrimeField {
   }
 
   std::uint64_t prime() const { return p_; }
+  /// The Montgomery constants, for the SIMD kernels (modular/simd/).
+  MontCtx ctx() const { return MontCtx{p_, ninv_, r2_, one_}; }
   /// floor(log2 p): the number of bits a product of moduli is guaranteed
   /// to gain per prime (used by the CRT prefix accounting).
   unsigned floor_log2() const { return floor_log2_; }

@@ -238,7 +238,7 @@ TEST(BigIntNtt, RootReportsBitIdenticalAcrossThreadsAndDispatch) {
 
   DispatchGuard guard;
   MulDispatch d = MulDispatch::fast();
-  d.ntt_threshold = 4;  // operands in this pipeline are far below 2048 limbs
+  d.ntt_threshold = 4;  // operands here are far below the default cutoff
   BigInt::set_mul_dispatch(d);
   for (const int threads : {1, 2, 8}) {
     ParallelConfig par;
