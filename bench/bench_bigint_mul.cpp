@@ -202,7 +202,8 @@ int main(int argc, char** argv) {
   const std::string path = out_path(argc, argv);
   std::ofstream os(path);
   os.precision(6);
-  os << "{\n  \"bench\": \"bigint_mul\",\n  \"limb_bits\": 64,\n"
+  os << "{\n  \"bench\": \"bigint_mul\",\n  \"profile\": \""
+     << prbench::bench_profile_id() << "\",\n  \"limb_bits\": 64,\n"
      << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

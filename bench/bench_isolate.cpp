@@ -76,7 +76,8 @@ void write_json(const char* path, std::size_t mu,
                 const std::vector<QirRow>& qir) {
   std::ofstream os(path);
   os.precision(6);
-  os << "{\n  \"bench\": \"isolate\",\n  \"mu_bits\": " << mu
+  os << "{\n  \"bench\": \"isolate\",\n  \"profile\": \""
+     << prbench::bench_profile_id() << "\",\n  \"mu_bits\": " << mu
      << ",\n  \"host_threads\": " << std::thread::hardware_concurrency()
      << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "polyroots.hpp"
 
 namespace {
@@ -285,6 +286,10 @@ int main(int argc, char** argv) {
   }
   int argn = static_cast<int>(args.size());
   benchmark::Initialize(&argn, args.data());
+  // Load POLYROOTS_CALIBRATION (if set) before any timed work and stamp
+  // the active profile id into the JSON context.
+  benchmark::AddCustomContext("calibration_profile",
+                              prbench::bench_profile_id());
   if (benchmark::ReportUnrecognizedArguments(argn, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -83,7 +83,8 @@ void write_json(const char* path, const std::vector<Row>& rows,
                 const pr::instr::ModularCounts& mc) {
   std::ofstream os(path);
   os.precision(6);
-  os << "{\n  \"bench\": \"modular\",\n  \"rows\": [\n";
+  os << "{\n  \"bench\": \"modular\",\n  \"profile\": \""
+     << prbench::bench_profile_id() << "\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     os << "    {\"kind\": \"" << r.kind << "\", \"input\": \"" << r.input

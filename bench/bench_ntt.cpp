@@ -150,7 +150,8 @@ int main(int argc, char** argv) {
   const std::string path = out_path(argc, argv);
   std::ofstream os(path);
   os.precision(6);
-  os << "{\n  \"bench\": \"ntt\",\n  \"prime\": " << p
+  os << "{\n  \"bench\": \"ntt\",\n  \"profile\": \""
+     << prbench::bench_profile_id() << "\",\n  \"prime\": " << p
      << ",\n  \"default_isa\": \"" << simd::isa_name(default_isa)
      << "\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {

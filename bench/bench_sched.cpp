@@ -70,7 +70,8 @@ void write_json(const char* path, int n, int digits,
                 const std::vector<Row>& rows,
                 const std::vector<PieceRow>& piece_rows) {
   std::ofstream os(path);
-  os << "{\n  \"bench\": \"sched\",\n  \"n\": " << n
+  os << "{\n  \"bench\": \"sched\",\n  \"profile\": \""
+     << prbench::bench_profile_id() << "\",\n  \"n\": " << n
      << ",\n  \"mu_digits\": " << digits << ",\n  \"host_threads\": "
      << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n";
   os.precision(6);

@@ -70,7 +70,8 @@ std::vector<std::string> make_workload(int n, int uniques, int reps) {
 void write_json(const char* path, int n, int uniques, int digits,
                 std::size_t requests, const std::vector<Row>& rows) {
   std::ofstream os(path);
-  os << "{\n  \"bench\": \"service\",\n  \"n\": " << n
+  os << "{\n  \"bench\": \"service\",\n  \"profile\": \""
+     << prbench::bench_profile_id() << "\",\n  \"n\": " << n
      << ",\n  \"unique_polys\": " << uniques
      << ",\n  \"requests\": " << requests
      << ",\n  \"mu_digits\": " << digits << ",\n  \"host_threads\": "

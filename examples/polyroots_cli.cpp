@@ -4,6 +4,15 @@
 //                           [--threads T] [--pieces P] [--stats]
 //   $ example_polyroots_cli --batch FILE [--digits N] [--threads T] [...]
 //   $ example_polyroots_cli --serve [--digits N] [--threads T] [...]
+//   $ example_polyroots_cli --calibrate [--quick] [--out FILE]
+//
+// --calibrate microbenchmarks the dispatch-ladder crossovers on this
+// host (calibrate/autotune.hpp) and writes a calibration profile JSON to
+// --out, or to $POLYROOTS_CALIBRATION when set, or to
+// ./polyroots_calibration.json.  Every other mode loads the profile
+// named by $POLYROOTS_CALIBRATION at startup (falling back to compiled
+// defaults with a stderr diagnostic on any problem); profiles move only
+// dispatch crossovers, never results.
 //
 // Single-shot mode parses the polynomial, finds all real roots, and
 // prints them as decimals (default), exact rational enclosures (--exact),
@@ -32,7 +41,10 @@
 #include <string>
 #include <vector>
 
+#include "calibrate/autotune.hpp"
+#include "calibrate/calibrate.hpp"
 #include "modular/simd/simd.hpp"
+#include "modular/tuning.hpp"
 #include "polyroots.hpp"
 #include "service/root_service.hpp"
 
@@ -60,6 +72,11 @@ void usage() {
       "  --stats       print the per-phase operation counters (plus the\n"
       "                per-piece summary under the parallel driver, or\n"
       "                the service counters in batch/serve mode)\n"
+      "  --calibrate   measure the dispatch crossovers on this host and\n"
+      "                write a calibration profile (--out FILE overrides\n"
+      "                $POLYROOTS_CALIBRATION, default\n"
+      "                ./polyroots_calibration.json); --quick runs a\n"
+      "                coarse, fast grid\n"
       "examples:\n"
       "  example_polyroots_cli \"x^2 - 2\"\n"
       "  example_polyroots_cli \"x^3 - 6x^2 + 11x - 6\" --digits 40 --exact\n"
@@ -163,6 +180,18 @@ void print_kernel_stats() {
                             " limbs"
                       : "")
             << "\n";
+  const auto fast = pr::MulDispatch::fast();
+  const auto mt = pr::modular::modular_tuning();
+  std::cout << "calibration: " << pr::calibrate::active_profile_id()
+            << "  (POLYROOTS_CALIBRATION loads a profile)\n"
+            << "  fast() thresholds: karatsuba " << fast.karatsuba_threshold
+            << " limbs, ntt " << fast.ntt_threshold << " limbs\n"
+            << "  mod-p ntt: min operand " << mt.ntt.min_operand
+            << ", butterfly units "
+            << (mt.ntt.butterfly_units > 0.0
+                    ? std::to_string(mt.ntt.butterfly_units)
+                    : std::string("per-ISA default"))
+            << "\n";
 }
 
 void print_service_stats(const pr::service::RootService& service) {
@@ -193,6 +222,9 @@ int main(int argc, char** argv) {
   bool stats = false;
   bool serve = false;
   bool no_cache = false;
+  bool calibrate = false;
+  bool quick = false;
+  const char* out_file = nullptr;
   const char* batch_file = nullptr;
   int threads = 0;
   int pieces = -1;  // -1 = flag absent
@@ -211,6 +243,12 @@ int main(int argc, char** argv) {
       serve = true;
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       no_cache = true;
+    } else if (std::strcmp(argv[i], "--calibrate") == 0) {
+      calibrate = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_file = option_arg("--out", argc, argv, i);
     } else if (std::strcmp(argv[i], "--finder") == 0) {
       finder = finder_value(option_arg("--finder", argc, argv, i));
     } else if (std::strcmp(argv[i], "--batch") == 0) {
@@ -236,6 +274,54 @@ int main(int argc, char** argv) {
     }
   }
   if (pieces >= 0 && threads <= 0) threads = 1;  // --pieces implies parallel
+
+  // ---- calibration mode -------------------------------------------------
+  if (calibrate) {
+    if (poly_text != nullptr || serve || batch_file != nullptr) {
+      std::cerr << "--calibrate is a standalone mode\n";
+      return 2;
+    }
+    pr::calibrate::AutotuneOptions opt;
+    opt.quick = quick;
+    opt.log = &std::cout;
+    const pr::calibrate::CalibrationProfile profile =
+        pr::calibrate::autotune(opt);
+    std::string path;
+    if (out_file != nullptr) {
+      path = out_file;
+    } else if (const char* env = std::getenv("POLYROOTS_CALIBRATION");
+               env != nullptr && *env != '\0') {
+      path = env;
+    } else {
+      path = "polyroots_calibration.json";
+    }
+    try {
+      pr::calibrate::save_profile(profile, path);
+    } catch (const pr::Error& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    pr::calibrate::apply(profile);
+    std::cout << "\nwrote " << path << "  (profile "
+              << pr::calibrate::profile_id(profile) << ")\n"
+              << "  karatsuba >= " << profile.karatsuba_threshold
+              << " limbs, bigint ntt >= " << profile.bigint_ntt_threshold
+              << " limbs\n"
+              << "  mod-p ntt >= " << profile.modular_ntt_min_operand
+              << " coefficients (butterfly units "
+              << (profile.ntt_butterfly_units > 0.0
+                      ? std::to_string(profile.ntt_butterfly_units)
+                      : std::string("per-ISA default"))
+              << ")\n"
+              << "  crt digit units: " << profile.crt_digit_units_linear
+              << "*k + " << profile.crt_digit_units_quadratic << "*k^2\n"
+              << "export POLYROOTS_CALIBRATION=" << path
+              << " to use it\n";
+    return 0;
+  }
+
+  // Install the persisted calibration (if any) before any arithmetic.
+  pr::calibrate::startup();
 
   pr::RootFinderConfig cfg;
   cfg.mu_bits = static_cast<std::size_t>(

@@ -14,6 +14,7 @@
 #include "modular/modular_combine.hpp"
 #include "modular/modular_prs.hpp"
 #include "modular/ntt.hpp"
+#include "modular/tuning.hpp"
 #include "poly/bounds.hpp"
 #include "poly/remainder_sequence.hpp"
 #include "support/error.hpp"
@@ -214,7 +215,8 @@ class GraphBuilder {
     const auto waves =
         st.modular.crt_wave_fanout != 0
             ? st.modular.crt_wave_fanout
-            : std::min<std::size_t>(16, static_cast<std::size_t>(2 * threads));
+            : modular::crt_wave_fanout_cap(modular::modular_tuning().crt,
+                                           threads);
     const TaskId prep = g_.add(TaskKind::kModPrep, -1,
                                [&prs, waves] { prs.prepare_crt(waves); });
     // The per-prime image (and CRT wave) tasks round-robin across the

@@ -53,18 +53,23 @@ struct ModularConfig {
 
   /// Batch several per-prime PRS images into one TaskPool task when the
   /// per-image cost model says a single image is too small to amortize
-  /// dispatch (below ~degree 40).  Purely a scheduling change.
+  /// dispatch (below ~degree 40).  Purely a scheduling change; the task
+  /// work floor comes from the runtime tuning (modular/tuning.hpp).
   bool batch_images = true;
 
   /// Fan the per-coefficient Garner dots of one CRT level out across the
   /// pool only when coefficient_count x prime_count clears this threshold
-  /// (levels below it run the wave loop inline on one task).
+  /// (levels below it run the wave loop inline on one task).  Above it,
+  /// the per-level wave model (CrtWaveModel, modular/tuning.hpp) sizes
+  /// the fan-out to the level's Garner work, quadratic in its prime
+  /// count.
   std::size_t crt_wave_min_work = 4096;
 
-  /// Number of CRT wave tasks each reconstruction level fans out to.
-  /// 0 = auto: min(16, 2 * threads), the measured sweet spot on the
-  /// reference machine.  The explicit knob is the seam for piece-local
-  /// CRT waves and for fitting the ROADMAP's measured wave model.
+  /// Explicit override for the per-level wave-task slot count.
+  /// 0 = auto: crt_wave_fanout_cap(modular_tuning().crt, threads) --
+  /// min(16, 2 * threads) at the compiled defaults, calibration can move
+  /// both factors.  The explicit knob remains the seam for piece-local
+  /// CRT waves and A/B runs.
   std::size_t crt_wave_fanout = 0;
 
   /// After reconstruction, re-verify every image at one held-out prime

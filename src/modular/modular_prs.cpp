@@ -6,6 +6,7 @@
 
 #include "instr/counters.hpp"
 #include "instr/phase.hpp"
+#include "modular/tuning.hpp"
 #include "sched/task_graph.hpp"
 #include "sched/task_pool.hpp"
 #include "support/error.hpp"
@@ -166,15 +167,16 @@ std::size_t MultimodularPrs::image_batch(int threads) const {
   // Per-image cost in the word-multiply units of the combine gate: the
   // recurrence touches ~sum_d 12 d ~ 6 n^2 units of field MACs, one field
   // inverse per level (~150 units each), and the input reduction pays ~2
-  // units per limb of every coefficient.  Batch until a task clears
-  // kMinTaskUnits (task dispatch is ~2500 units), but keep at least ~2
+  // units per limb of every coefficient.  Batch until a task clears the
+  // tuning's min_task_units (task dispatch is ~2500 units; the floor is
+  // calibration-overridable, modular/tuning.hpp), but keep at least ~2
   // tasks per worker so batching never serializes a wide pool.
-  constexpr double kMinTaskUnits = 20000.0;
+  const double min_task_units = modular_tuning().batch.min_task_units;
   const double dn = static_cast<double>(n_);
   const double in_limbs = static_cast<double>(f0_.max_coeff_bits() / 64 + 1);
   const double cost =
       6.0 * dn * dn + 150.0 * dn + 2.0 * (2.0 * dn + 2.0) * in_limbs;
-  auto batch = static_cast<std::size_t>(kMinTaskUnits / cost) + 1;
+  auto batch = static_cast<std::size_t>(min_task_units / cost) + 1;
   const auto workers = static_cast<std::size_t>(std::max(1, threads));
   const std::size_t cap = std::max<std::size_t>(1, eager_ / (2 * workers));
   return std::min(std::max<std::size_t>(1, batch), cap);
@@ -264,11 +266,17 @@ void MultimodularPrs::prepare_level(int i) {
   const std::size_t cnt = static_cast<std::size_t>(n_) - ui;
   level_coeffs_.assign(cnt, BigInt());
   // Fan the level out only when its Garner volume clears the threshold;
-  // the wave partition is j mod level_waves_, so every wave touches a
-  // similar mix of coefficient positions.
-  level_waves_ = cnt * lvl_k_ >= cfg_.crt_wave_min_work
-                     ? std::min(wave_width_, cnt)
-                     : 1;
+  // above it, the wave model (digit cost quadratic in the level's prime
+  // count, modular/tuning.hpp) sizes the fan-out to the level's measured
+  // work instead of always using the full width -- shallow levels with
+  // few primes stop paying full-fanout dispatch.  The wave partition is
+  // j mod level_waves_, so every wave touches a similar mix of
+  // coefficient positions.
+  level_waves_ =
+      cnt * lvl_k_ >= cfg_.crt_wave_min_work
+          ? crt_level_waves(modular_tuning().crt, cnt, lvl_k_,
+                            std::min(wave_width_, cnt))
+          : 1;
 }
 
 void MultimodularPrs::run_crt_wave(int i, std::size_t w) {
@@ -405,7 +413,7 @@ std::optional<RemainderSequence> compute_remainder_sequence_multimodular(
   const std::size_t waves =
       cfg.crt_wave_fanout != 0
           ? cfg.crt_wave_fanout
-          : std::min<std::size_t>(16, static_cast<std::size_t>(2 * threads));
+          : crt_wave_fanout_cap(modular_tuning().crt, threads);
   const TaskId prep = g.add(TaskKind::kModPrep, -1,
                             [&prs, waves] { prs.prepare_crt(waves); });
   for (std::size_t t = 0; t < prs.num_image_tasks(threads); ++t) {

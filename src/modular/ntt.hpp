@@ -114,10 +114,15 @@ class NttTableCache {
 void ntt_forward(std::vector<Zp>& a, const NttPlan& plan, const PrimeField& f);
 void ntt_inverse(std::vector<Zp>& a, const NttPlan& plan, const PrimeField& f);
 
-/// Cost of one length-n transform in the word-multiply units of the
-/// ModularCombine gate (1 unit == one 64x64 multiply-accumulate; one
-/// Montgomery butterfly is ~3 units like any field MAC, plus pass
-/// overhead folded into a calibrated constant).
+/// Per-butterfly charge of the cost model, in the word-multiply units of
+/// the ModularCombine gate (1 unit == one 64x64 multiply-accumulate).
+/// The calibrated override from modular/tuning.hpp when one is set,
+/// else the compiled per-ISA default (3.0 with a vector kernel table
+/// active, 4.0 scalar).
+double ntt_butterfly_units();
+
+/// Cost of one length-n transform in the same units: (n/2) log2(n)
+/// butterflies at ntt_butterfly_units() each, plus one permutation pass.
 double ntt_transform_cost(std::size_t n);
 
 /// Convolution transform length for operand lengths la, lb (>= 1):

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "calibrate/calibrate.hpp"
 #include "core/refine.hpp"
 #include "poly/squarefree.hpp"
 #include "sched/task_graph.hpp"
@@ -43,7 +44,11 @@ RootService::RootService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(std::make_unique<ResultCache>(config_.cache_capacity,
                                            config_.cache_shards)),
-      stats_(std::make_unique<StatsCells>()) {}
+      stats_(std::make_unique<StatsCells>()) {
+  // Install the persisted host calibration (POLYROOTS_CALIBRATION) before
+  // the first computation; a once-only no-op when unset or already done.
+  calibrate::startup();
+}
 
 RootService::~RootService() = default;
 

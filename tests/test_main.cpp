@@ -1,0 +1,13 @@
+// Test entry point: standard gtest main plus the calibration startup
+// hook, so a POLYROOTS_CALIBRATION profile is active for the whole
+// suite (the CI calibrate-then-test leg runs every bit-identity suite
+// under the measured profile; without the variable this is a no-op).
+#include <gtest/gtest.h>
+
+#include "calibrate/calibrate.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  pr::calibrate::startup();
+  return RUN_ALL_TESTS();
+}

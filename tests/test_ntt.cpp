@@ -13,6 +13,7 @@
 
 #include "modular/ntt.hpp"
 #include "modular/polyzp.hpp"
+#include "modular/tuning.hpp"
 #include "modular/zp.hpp"
 #include "support/prng.hpp"
 
@@ -150,6 +151,11 @@ TEST(NttMul, SmallTwoAdicPrimeFallsBackCorrectly) {
 }
 
 TEST(NttMul, DispatchAgreesWithCostModel) {
+  // This test pins the compiled-default cost model; a startup-applied
+  // calibration profile may legitimately move the crossover, so run it
+  // under default tuning and restore whatever was active.
+  const ModularTuning saved = modular_tuning();
+  reset_modular_tuning();
   // mul() must route exactly per ntt_profitable, so thread count or call
   // site can never change which kernel runs.
   EXPECT_FALSE(ntt_profitable(1, 1));
@@ -164,6 +170,7 @@ TEST(NttMul, DispatchAgreesWithCostModel) {
     EXPECT_TRUE(now || !was) << "profitability regressed at " << l;
     was = now;
   }
+  set_modular_tuning(saved);
 }
 
 TEST(NttMul, ConvSizeIsNextPowerOfTwo) {
